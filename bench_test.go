@@ -1,0 +1,307 @@
+// Benchmarks regenerating each table/figure of the paper's evaluation.
+// One testing.B benchmark per figure drives the corresponding runner at a
+// reduced instruction budget; `go test -bench . -benchmem` therefore walks
+// the whole evaluation. Custom metrics report the figure's headline number
+// so benchmark output doubles as a quick reproduction check.
+//
+// Ablation benchmarks at the bottom quantify the design choices called out
+// in DESIGN.md (miss predictor, chain length, EMC cache, DRAM scheduler).
+package emcsim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/figures"
+	"repro/internal/mem/dram"
+	"repro/internal/sim"
+)
+
+// benchOpts keeps benchmark iterations affordable while preserving shape.
+func benchOpts() figures.Options {
+	o := figures.DefaultOptions()
+	o.InstrPerCore = 6000
+	o.InstrPerCore8 = 4000
+	return o
+}
+
+// runFigure executes a figure runner b.N times (the suite memoizes runs, so
+// iterations beyond the first measure the derivation, as in repeated use).
+func runFigure(b *testing.B, f func(*figures.Suite) (*figures.Table, error)) *figures.Table {
+	b.Helper()
+	var tab *figures.Table
+	for i := 0; i < b.N; i++ {
+		s := figures.NewSuite(benchOpts())
+		t, err := f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab = t
+	}
+	return tab
+}
+
+func BenchmarkFig01LatencyBreakdown(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig1)
+	// Headline: on-chip share of miss latency for the most intensive rows.
+	last := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(last.Values[3], "onchip%")
+}
+
+func BenchmarkFig02DependentMisses(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig2)
+	var maxDep, maxSpeed float64
+	for _, r := range tab.Rows {
+		if r.Values[0] > maxDep {
+			maxDep = r.Values[0]
+			maxSpeed = r.Values[1]
+		}
+	}
+	b.ReportMetric(maxDep, "maxDep%")
+	b.ReportMetric(maxSpeed, "idealSpeedup")
+}
+
+func BenchmarkFig03PrefetchCoverage(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig3)
+	mean := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(mean.Values[0], "ghbCov%")
+}
+
+func BenchmarkFig06ChainLength(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig6)
+	var sum float64
+	n := 0
+	for _, r := range tab.Rows {
+		if r.Values[0] > 0 {
+			sum += r.Values[0]
+			n++
+		}
+	}
+	b.ReportMetric(sum/float64(n), "avgChainOps")
+}
+
+func BenchmarkFig12QuadCore(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig12)
+	gmean := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(gmean.Values[0], "emcVsNone")
+	b.ReportMetric(gmean.Values[1], "emcVsGHB")
+}
+
+func BenchmarkFig13Homogeneous(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig13)
+	for _, r := range tab.Rows {
+		if r.Label == "4xmcf" {
+			b.ReportMetric(r.Values[0], "mcfSpeedup")
+		}
+	}
+}
+
+func BenchmarkFig14EightCore(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig14)
+	gmean := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(gmean.Values[0], "1mcVsNone")
+	b.ReportMetric(gmean.Values[2], "2mcVsNone")
+}
+
+func BenchmarkFig15EMCMissFraction(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig15)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "emcMiss%")
+}
+
+func BenchmarkFig16RowConflicts(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig16)
+	var minDelta float64
+	for _, r := range tab.Rows {
+		if r.Values[2] < minDelta {
+			minDelta = r.Values[2]
+		}
+	}
+	b.ReportMetric(minDelta, "bestDeltaPp")
+}
+
+func BenchmarkFig17EMCCacheHits(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig17)
+	var max float64
+	for _, r := range tab.Rows {
+		if r.Values[0] > max {
+			max = r.Values[0]
+		}
+	}
+	b.ReportMetric(max, "maxHit%")
+}
+
+func BenchmarkFig18MissLatency(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig18)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[2], "saving%")
+}
+
+func BenchmarkFig19SavingsBreakdown(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig19)
+	var q float64
+	for _, r := range tab.Rows {
+		q += r.Values[2]
+	}
+	b.ReportMetric(q/float64(len(tab.Rows)), "queueSaving")
+}
+
+func BenchmarkFig20Sensitivity(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig20)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "4c4rScaling")
+}
+
+func BenchmarkFig21EMCAndPrefetch(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig21)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "ghbCover%")
+}
+
+func BenchmarkFig22ChainUops(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig22)
+	var sum float64
+	n := 0
+	for _, r := range tab.Rows {
+		if r.Values[0] > 0 {
+			sum += r.Values[0]
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "uopsPerChain")
+	}
+}
+
+func BenchmarkSec65Overhead(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Overhead)
+	mean := tab.Rows[len(tab.Rows)-1]
+	b.ReportMetric(mean.Values[0], "dataRing%")
+}
+
+func BenchmarkFig23Energy(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig23)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "emcEnergyRel")
+}
+
+func BenchmarkFig24EnergyHomogeneous(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).Fig24)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "emcEnergyRel")
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------------
+
+// ablationRun measures avg IPC of 4xmcf with the EMC under a config tweak.
+func ablationRun(b *testing.B, mut func(*sim.Config)) float64 {
+	b.Helper()
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default([]string{"mcf", "mcf", "mcf", "mcf"})
+		cfg.InstrPerCore = 6000
+		cfg.EMCEnabled = true
+		if mut != nil {
+			mut(&cfg)
+		}
+		sys, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipc = r.AvgIPC()
+	}
+	return ipc
+}
+
+// BenchmarkAblationMissPredictor contrasts the miss predictor's DRAM-direct
+// path against forcing every EMC load through the LLC.
+func BenchmarkAblationMissPredictor(b *testing.B) {
+	normal := ablationRun(b, nil)
+	llcOnly := ablationRun(b, func(c *sim.Config) {
+		c.EMCCfg.MissPredThreshold = 8 // unreachable: never predict miss
+	})
+	b.ReportMetric(normal/llcOnly, "vsLLCOnly")
+}
+
+// BenchmarkAblationChainLength contrasts the 16-uop chain cap with an 8-uop
+// cap (shorter chains rarely reach the dependent miss).
+func BenchmarkAblationChainLength(b *testing.B) {
+	full := ablationRun(b, nil)
+	short := ablationRun(b, func(c *sim.Config) {
+		c.CoreTweak = func(cc *cpu.Config) { cc.ChainMaxUops = 8 }
+	})
+	b.ReportMetric(full/short, "vs8uop")
+}
+
+// BenchmarkAblationEMCCache contrasts the 4 KB EMC data cache with a
+// minimal 256 B one.
+func BenchmarkAblationEMCCache(b *testing.B) {
+	full := ablationRun(b, nil)
+	tiny := ablationRun(b, func(c *sim.Config) {
+		c.EMCCfg.CacheSize = 256
+	})
+	b.ReportMetric(full/tiny, "vs256B")
+}
+
+// BenchmarkAblationScheduler contrasts batch scheduling with FR-FCFS and
+// FCFS on the baseline system.
+func BenchmarkAblationScheduler(b *testing.B) {
+	var batch, frfcfs, fcfs float64
+	for i := 0; i < b.N; i++ {
+		run := func(pol dram.SchedPolicy) float64 {
+			cfg := sim.Default([]string{"mcf", "mcf", "mcf", "mcf"})
+			cfg.InstrPerCore = 6000
+			cfg.Sched = pol
+			sys, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := sys.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.AvgIPC()
+		}
+		batch = run(dram.SchedBatch)
+		frfcfs = run(dram.SchedFRFCFS)
+		fcfs = run(dram.SchedFCFS)
+	}
+	b.ReportMetric(batch/fcfs, "batchVsFCFS")
+	b.ReportMetric(frfcfs/fcfs, "frfcfsVsFCFS")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec is
+// the practical limit on experiment scale).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default([]string{"mcf", "sphinx3", "soplex", "libquantum"})
+		cfg.InstrPerCore = 8000
+		sys, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles/run")
+}
+
+// BenchmarkExtRunahead runs the extension comparison: runahead vs EMC vs
+// their combination (the paper positions the mechanisms as complementary).
+func BenchmarkExtRunahead(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).ExtRunahead)
+	for _, r := range tab.Rows {
+		if r.Label == "4xmcf" {
+			b.ReportMetric(r.Values[1], "mcfEMC")
+			b.ReportMetric(r.Values[2], "mcfBoth")
+		}
+	}
+}
+
+// BenchmarkWeightedSpeedup reports the multiprogrammed metric over H1-H10.
+func BenchmarkWeightedSpeedup(b *testing.B) {
+	tab := runFigure(b, (*figures.Suite).WeightedSpeedup)
+	b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[2], "wsRatio")
+}

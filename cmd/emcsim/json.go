@@ -1,0 +1,79 @@
+package main
+
+import (
+	emcsim "repro"
+)
+
+// jsonResult is the stable machine-readable shape emitted by -json: derived
+// metrics plus the per-core and system counters, without internal config.
+type jsonResult struct {
+	Cycles uint64  `json:"cycles"`
+	AvgIPC float64 `json:"avgIPC"`
+
+	Cores []jsonCore `json:"cores"`
+
+	CoreMissLatency float64 `json:"coreMissLatency"`
+	EMCMissLatency  float64 `json:"emcMissLatency,omitempty"`
+	EMCMissFraction float64 `json:"emcMissFraction,omitempty"`
+	EMCCacheHitRate float64 `json:"emcCacheHitRate,omitempty"`
+	RowConflictRate float64 `json:"rowConflictRate"`
+
+	DRAMDemandReads uint64 `json:"dramDemandReads"`
+	DRAMPrefetch    uint64 `json:"dramPrefetchReads"`
+	DRAMEMCReads    uint64 `json:"dramEMCReads"`
+	DRAMWrites      uint64 `json:"dramWrites"`
+
+	PrefetchIssued uint64 `json:"prefetchIssued,omitempty"`
+	PrefetchUseful uint64 `json:"prefetchUseful,omitempty"`
+
+	EnergyTotalJ float64 `json:"energyTotalJ"`
+	EnergyChipJ  float64 `json:"energyChipJ"`
+	EnergyDRAMJ  float64 `json:"energyDRAMJ"`
+}
+
+type jsonCore struct {
+	Benchmark       string  `json:"benchmark"`
+	IPC             float64 `json:"ipc"`
+	Retired         uint64  `json:"retired"`
+	Loads           uint64  `json:"loads"`
+	Stores          uint64  `json:"stores"`
+	LLCMisses       uint64  `json:"llcMisses"`
+	DependentMisses uint64  `json:"dependentMisses"`
+	ChainsGenerated uint64  `json:"chainsGenerated"`
+	ChainsAborted   uint64  `json:"chainsAborted"`
+}
+
+func resultJSON(r *emcsim.Result) jsonResult {
+	out := jsonResult{
+		Cycles:          r.Cycles,
+		AvgIPC:          r.AvgIPC(),
+		CoreMissLatency: r.CoreMissLatency(),
+		EMCMissLatency:  r.EMCMissLatency(),
+		EMCMissFraction: r.EMCMissFraction(),
+		EMCCacheHitRate: r.EMCCacheHitRate(),
+		RowConflictRate: r.RowConflictRate(),
+		DRAMDemandReads: r.Sys.DRAMDemandReads,
+		DRAMPrefetch:    r.Sys.DRAMPrefetch,
+		DRAMEMCReads:    r.Sys.DRAMEMCReads,
+		DRAMWrites:      r.Sys.DRAMWrites,
+		PrefetchIssued:  r.PrefetchIssued,
+		PrefetchUseful:  r.PrefetchUseful,
+		EnergyTotalJ:    r.Energy.Total(),
+		EnergyChipJ:     r.Energy.Chip(),
+		EnergyDRAMJ:     r.Energy.DRAMStatic + r.Energy.DRAMDynamic,
+	}
+	for _, c := range r.Cores {
+		out.Cores = append(out.Cores, jsonCore{
+			Benchmark:       c.Benchmark,
+			IPC:             c.IPC,
+			Retired:         c.Stats.Retired,
+			Loads:           c.Stats.Loads,
+			Stores:          c.Stats.Stores,
+			LLCMisses:       c.Stats.LLCMissLoads,
+			DependentMisses: c.Stats.DependentMissLoads,
+			ChainsGenerated: c.Stats.ChainsGenerated,
+			ChainsAborted:   c.Stats.ChainAborts,
+		})
+	}
+	return out
+}

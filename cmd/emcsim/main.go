@@ -1,0 +1,127 @@
+// Command emcsim runs one workload on one system configuration and prints a
+// summary: per-core IPC, memory-system behaviour, EMC activity, and energy.
+//
+// Examples:
+//
+//	emcsim -bench mcf,sphinx3,soplex,libquantum -emc -n 50000
+//	emcsim -bench mcf,mcf,mcf,mcf -pf ghb -emc
+//	emcsim -bench mcf,mcf,mcf,mcf,mcf,mcf,mcf,mcf -mcs 2 -emc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	emcsim "repro"
+	"repro/internal/cpu"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf,sphinx3,soplex,libquantum", "comma-separated benchmarks, one per core (4 or 8)")
+	pf := flag.String("pf", "none", "prefetcher: none|ghb|stream|markov+stream")
+	emc := flag.Bool("emc", false, "enable the Enhanced Memory Controller")
+	mcs := flag.Int("mcs", 1, "memory controllers (8-core only: 1 or 2)")
+	n := flag.Uint64("n", 30000, "instructions per core")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	ideal := flag.Bool("ideal-dep-hits", false, "serve dependent misses at LLC-hit latency (Fig. 2 idealization)")
+	runahead := flag.Bool("runahead", false, "enable the runahead-execution baseline")
+	chains := flag.Int("chains", 0, "print the first N dependence chains shipped to the EMC")
+	hist := flag.Bool("hist", false, "print miss-latency histograms")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("high intensity:", strings.Join(emcsim.HighIntensityBenchmarks(), " "))
+		fmt.Println("all:", strings.Join(emcsim.Benchmarks(), " "))
+		return
+	}
+
+	benchmarks := strings.Split(*bench, ",")
+	var cfg emcsim.SystemConfig
+	if len(benchmarks) >= 8 {
+		cfg = emcsim.EightCore(emcsim.PrefetcherKind(*pf), *emc, *mcs)
+	} else {
+		cfg = emcsim.QuadCore(emcsim.PrefetcherKind(*pf), *emc)
+	}
+	cfg.IdealDependentHits = *ideal
+	cfg.RunaheadEnabled = *runahead
+	if *chains > 0 {
+		left := *chains
+		cfg.OnChain = func(ch *cpu.Chain) {
+			if left <= 0 {
+				return
+			}
+			left--
+			fmt.Printf("chain core%d srcPC=%#x line=%#x uops=%d live-ins=%d mispredict=%v\n",
+				ch.CoreID, ch.SourcePC, ch.SourceLine, len(ch.Uops), len(ch.LiveIns), ch.HasMispredict)
+			for i, cu := range ch.Uops {
+				fmt.Printf("  [%2d] E%-2d <- %v\n", i, cu.DstEPR, cu.U.String())
+			}
+		}
+	}
+
+	res, err := emcsim.Run(cfg, emcsim.Workload{
+		Name: "cli", Benchmarks: benchmarks, InstrPerCore: *n, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emcsim:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resultJSON(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "emcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload: %s   pf=%s emc=%v mcs=%d n=%d\n", *bench, *pf, *emc, *mcs, *n)
+	fmt.Printf("cycles: %d   avg IPC: %.4f\n\n", res.Cycles, res.AvgIPC())
+	for _, c := range res.Cores {
+		fmt.Printf("  core %-12s IPC %.4f  loads %-6d LLCmiss %-5d dep %-5d chains %d\n",
+			c.Benchmark, c.IPC, c.Stats.Loads, c.Stats.LLCMissLoads,
+			c.Stats.DependentMissLoads, c.Stats.ChainsGenerated)
+	}
+	fmt.Printf("\nmemory: demandReads=%d prefetchReads=%d emcReads=%d writes=%d rowConflict=%.1f%%\n",
+		res.Sys.DRAMDemandReads, res.Sys.DRAMPrefetch, res.Sys.DRAMEMCReads,
+		res.Sys.DRAMWrites, 100*res.RowConflictRate())
+	fmt.Printf("latency: core-miss=%.1f cycles", res.CoreMissLatency())
+	if res.Sys.EMCMissCount > 0 {
+		fmt.Printf("  emc-miss=%.1f cycles (%.1f%% lower)",
+			res.EMCMissLatency(), 100*(1-res.EMCMissLatency()/res.CoreMissLatency()))
+	}
+	fmt.Println()
+	if *emc {
+		var done, aborted, rejected uint64
+		for _, e := range res.EMC {
+			done += e.ChainsDone
+			aborted += e.ChainsAborted
+			rejected += e.ChainsRejected
+		}
+		fmt.Printf("emc: chainsDone=%d aborted=%d rejected=%d missFraction=%.1f%% cacheHit=%.1f%% avgChainLen=%.1f\n",
+			done, aborted, rejected, 100*res.EMCMissFraction(),
+			100*res.EMCCacheHitRate(), res.AvgChainLength())
+	}
+	if res.PrefetchIssued > 0 {
+		fmt.Printf("prefetch: issued=%d useful=%d accuracy=%.1f%%\n",
+			res.PrefetchIssued, res.PrefetchUseful,
+			100*float64(res.PrefetchUseful)/float64(res.PrefetchIssued))
+	}
+	e := res.Energy
+	fmt.Printf("energy: total=%.3g J (chip %.3g, dram %.3g)\n", e.Total(), e.Chip(), e.DRAMStatic+e.DRAMDynamic)
+	if *hist {
+		fmt.Printf("\ncore-miss latency: %s\n  density: [%s]\n",
+			res.Sys.CoreMissHist.String(), res.Sys.CoreMissHist.Bar(48))
+		if res.Sys.EMCMissHist.Count() > 0 {
+			fmt.Printf("emc-miss latency:  %s\n  density: [%s]\n",
+				res.Sys.EMCMissHist.String(), res.Sys.EMCMissHist.Bar(48))
+		}
+	}
+}

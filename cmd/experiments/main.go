@@ -1,0 +1,102 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them as ASCII tables (optionally writing a
+// markdown report).
+//
+//	experiments                    # all figures at CI-sized run lengths
+//	experiments -n 100000          # longer runs (closer to the paper's scale)
+//	experiments -only Fig12,Fig18  # a subset
+//	experiments -md results.md     # also write a markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	n := flag.Uint64("n", 24000, "instructions per core (quad-core runs)")
+	n8 := flag.Uint64("n8", 12000, "instructions per core (eight-core runs)")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated figure ids (e.g. Fig12,Fig18); empty = all")
+	md := flag.String("md", "", "write a markdown report to this file")
+	flag.Parse()
+
+	opts := figures.DefaultOptions()
+	opts.InstrPerCore = *n
+	opts.InstrPerCore8 = *n8
+	opts.Seed = *seed
+	if *par > 0 {
+		opts.Parallel = *par
+	}
+	suite := figures.NewSuite(opts)
+
+	runners := []struct {
+		id  string
+		run func() (*figures.Table, error)
+	}{
+		{"Fig1", suite.Fig1},
+		{"Fig2", suite.Fig2},
+		{"Fig3", suite.Fig3},
+		{"Fig6", suite.Fig6},
+		{"Fig12", suite.Fig12},
+		{"Fig13", suite.Fig13},
+		{"Fig14", suite.Fig14},
+		{"Fig15", suite.Fig15},
+		{"Fig16", suite.Fig16},
+		{"Fig17", suite.Fig17},
+		{"Fig18", suite.Fig18},
+		{"Fig19", suite.Fig19},
+		{"Fig20", suite.Fig20},
+		{"Fig21", suite.Fig21},
+		{"Fig22", suite.Fig22},
+		{"Sec6.5", suite.Overhead},
+		{"Fig23", suite.Fig23},
+		{"Fig24", suite.Fig24},
+		{"ExtRA", suite.ExtRunahead},
+		{"WS", suite.WeightedSpeedup},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var report strings.Builder
+	report.WriteString("# Reproduction results\n\n")
+	fmt.Fprintf(&report, "Run: n=%d (quad), n8=%d (eight), seed=%d, %s\n\n",
+		*n, *n8, *seed, time.Now().Format(time.RFC3339))
+
+	start := time.Now()
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("(%s in %.1fs)\n\n", r.id, time.Since(t0).Seconds())
+		report.WriteString(tab.Markdown())
+		report.WriteString("\n")
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *md)
+	}
+}

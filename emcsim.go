@@ -1,0 +1,143 @@
+// Package emcsim is the public API of the Enhanced Memory Controller
+// reproduction: a cycle-level multi-core simulator implementing the system
+// of Hashemi et al., "Accelerating Dependent Cache Misses with an Enhanced
+// Memory Controller" (ISCA 2016).
+//
+// The package wraps the internal simulator behind a small, stable surface:
+// build a SystemConfig (Table 1 of the paper by default), pick a Workload
+// (the paper's H1–H10 mixes, homogeneous quad-core copies, or any custom
+// benchmark list), and Run it to get a Result with the statistics every
+// figure of the paper derives from.
+//
+//	cfg := emcsim.QuadCore(emcsim.PFGHB, true) // GHB prefetcher + EMC
+//	res, err := emcsim.Run(cfg, emcsim.Workload{
+//	    Name:         "H4",
+//	    Benchmarks:   []string{"mcf", "sphinx3", "soplex", "libquantum"},
+//	    InstrPerCore: 50_000,
+//	})
+package emcsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PrefetcherKind selects the LLC prefetcher configuration (Table 1).
+type PrefetcherKind = sim.PrefetcherKind
+
+// The prefetcher configurations evaluated in the paper.
+const (
+	PFNone         = sim.PFNone
+	PFGHB          = sim.PFGHB
+	PFStream       = sim.PFStream
+	PFMarkovStream = sim.PFMarkovStream
+)
+
+// SystemConfig describes the simulated chip. It is a re-export of the
+// internal configuration; construct it with QuadCore/EightCore and adjust
+// fields for sensitivity studies.
+type SystemConfig = sim.Config
+
+// Result carries everything a run measures; see the methods on sim.Result
+// for the derived metrics used by the paper's figures (miss latencies,
+// row-conflict rates, EMC coverage, energy breakdown, ...).
+type Result = sim.Result
+
+// Workload names a multiprogrammed benchmark mix.
+type Workload struct {
+	Name         string
+	Benchmarks   []string
+	InstrPerCore uint64
+	Seed         uint64
+}
+
+// QuadCore returns the paper's quad-core system (Fig. 7, Table 1) with the
+// given prefetcher and EMC setting. Benchmarks are supplied at Run time.
+func QuadCore(pf PrefetcherKind, emc bool) SystemConfig {
+	cfg := sim.Default(make([]string, 4))
+	cfg.Benchmarks = nil
+	cfg.Prefetcher = pf
+	cfg.EMCEnabled = emc
+	return cfg
+}
+
+// EightCore returns the paper's eight-core system (Fig. 11) with mcs memory
+// controllers (1 or 2).
+func EightCore(pf PrefetcherKind, emc bool, mcs int) SystemConfig {
+	cfg := sim.Default(make([]string, 8))
+	cfg.Benchmarks = nil
+	cfg.Prefetcher = pf
+	cfg.EMCEnabled = emc
+	cfg.MCs = mcs
+	return cfg
+}
+
+// Run simulates workload wl on system cfg and returns the collected result.
+func Run(cfg SystemConfig, wl Workload) (*Result, error) {
+	if len(wl.Benchmarks) == 0 {
+		return nil, fmt.Errorf("emcsim: workload %q has no benchmarks", wl.Name)
+	}
+	cfg.Benchmarks = wl.Benchmarks
+	if wl.InstrPerCore > 0 {
+		cfg.InstrPerCore = wl.InstrPerCore
+	}
+	if wl.Seed > 0 {
+		cfg.Seed = wl.Seed
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// Benchmarks returns every available SPEC CPU2006 benchmark profile name.
+func Benchmarks() []string { return trace.AllNames() }
+
+// HighIntensityBenchmarks returns the paper's Table-2 high-MPKI set.
+func HighIntensityBenchmarks() []string { return trace.HighIntensityNames() }
+
+// Workloads returns the paper's Table-3 quad-core mixes H1–H10.
+func Workloads() []Workload {
+	mixes := [][]string{
+		{"bwaves", "lbm", "milc", "omnetpp"},           // H1
+		{"soplex", "omnetpp", "bwaves", "libquantum"},  // H2
+		{"sphinx3", "mcf", "omnetpp", "milc"},          // H3
+		{"mcf", "sphinx3", "soplex", "libquantum"},     // H4
+		{"lbm", "mcf", "libquantum", "bwaves"},         // H5
+		{"lbm", "soplex", "mcf", "milc"},               // H6
+		{"bwaves", "libquantum", "sphinx3", "omnetpp"}, // H7
+		{"omnetpp", "soplex", "mcf", "bwaves"},         // H8
+		{"lbm", "mcf", "libquantum", "soplex"},         // H9
+		{"libquantum", "bwaves", "soplex", "omnetpp"},  // H10
+	}
+	out := make([]Workload, len(mixes))
+	for i, m := range mixes {
+		out[i] = Workload{Name: fmt.Sprintf("H%d", i+1), Benchmarks: m}
+	}
+	return out
+}
+
+// HomogeneousWorkloads returns four copies of each high-intensity benchmark
+// (the paper's Fig. 13 configuration).
+func HomogeneousWorkloads() []Workload {
+	var out []Workload
+	for _, b := range trace.HighIntensityNames() {
+		out = append(out, Workload{
+			Name:       "4x" + b,
+			Benchmarks: []string{b, b, b, b},
+		})
+	}
+	return out
+}
+
+// EightCoreWorkload doubles a quad-core mix (the paper's 8-core methodology).
+func EightCoreWorkload(w Workload) Workload {
+	return Workload{
+		Name:       w.Name + "x2",
+		Benchmarks: append(append([]string{}, w.Benchmarks...), w.Benchmarks...),
+		Seed:       w.Seed,
+	}
+}

@@ -1,0 +1,52 @@
+// Eightcore scales the system up (paper §6.2, Fig. 11/14): the H5 mix
+// doubled onto eight cores, first with one memory controller and then with
+// two compute-capable memory controllers, including the cross-channel
+// EMC-to-EMC request path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	quad := emcsim.Workload{
+		Name:         "H5",
+		Benchmarks:   []string{"lbm", "mcf", "libquantum", "bwaves"},
+		InstrPerCore: 8000,
+	}
+	wl := emcsim.EightCoreWorkload(quad)
+
+	type cell struct {
+		label string
+		cfg   emcsim.SystemConfig
+	}
+	cells := []cell{
+		{"1MC baseline", emcsim.EightCore(emcsim.PFNone, false, 1)},
+		{"1MC + EMC", emcsim.EightCore(emcsim.PFNone, true, 1)},
+		{"2MC baseline", emcsim.EightCore(emcsim.PFNone, false, 2)},
+		{"2MC + 2 EMCs", emcsim.EightCore(emcsim.PFNone, true, 2)},
+	}
+
+	fmt.Printf("eight-core %s: %v\n\n", wl.Name, wl.Benchmarks)
+	var results []*emcsim.Result
+	for _, c := range cells {
+		r, err := emcsim.Run(c.cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+		fmt.Printf("%-14s IPC %.4f  dramReads %-6d rowConflict %.1f%%  emcReads %-5d crossMC %d\n",
+			c.label, r.AvgIPC(), r.TotalDRAMReads(), 100*r.RowConflictRate(),
+			r.Sys.DRAMEMCReads, r.Sys.CrossMCRequests)
+	}
+
+	fmt.Printf("\nEMC speedup: 1MC %+.1f%%, 2MC %+.1f%%\n",
+		100*(results[1].AvgIPC()/results[0].AvgIPC()-1),
+		100*(results[3].AvgIPC()/results[2].AvgIPC()-1))
+	if results[3].Sys.CrossMCRequests > 0 {
+		fmt.Println("cross-channel dependencies were issued EMC-to-EMC without bouncing through a core (§4.4)")
+	}
+}

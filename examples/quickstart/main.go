@@ -1,0 +1,52 @@
+// Quickstart: simulate the paper's H4 workload (mcf + sphinx3 + soplex +
+// libquantum) on the Table-1 quad-core, first without and then with the
+// Enhanced Memory Controller, and compare what happens to the dependent
+// cache misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	wl := emcsim.Workload{
+		Name:         "H4",
+		Benchmarks:   []string{"mcf", "sphinx3", "soplex", "libquantum"},
+		InstrPerCore: 20000,
+		Seed:         7,
+	}
+
+	baseline, err := emcsim.Run(emcsim.QuadCore(emcsim.PFNone, false), wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withEMC, err := emcsim.Run(emcsim.QuadCore(emcsim.PFNone, true), wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: %v\n\n", wl.Name, wl.Benchmarks)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "with EMC")
+	fmt.Printf("%-22s %12.4f %12.4f\n", "avg IPC", baseline.AvgIPC(), withEMC.AvgIPC())
+	fmt.Printf("%-22s %12d %12d\n", "cycles", baseline.Cycles, withEMC.Cycles)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "core-miss latency", baseline.CoreMissLatency(), withEMC.CoreMissLatency())
+	fmt.Printf("%-22s %12s %12.1f\n", "EMC-miss latency", "-", withEMC.EMCMissLatency())
+	fmt.Printf("%-22s %12s %11.1f%%\n", "EMC share of misses", "-", 100*withEMC.EMCMissFraction())
+
+	var chains, done uint64
+	for _, c := range withEMC.Cores {
+		chains += c.Stats.ChainsGenerated
+	}
+	for _, e := range withEMC.EMC {
+		done += e.ChainsDone
+	}
+	fmt.Printf("\nchains: %d generated, %d executed to completion at the memory controller\n", chains, done)
+	fmt.Printf("each chain carried ~%.1f uops (paper Fig. 22: under 10 on average)\n", withEMC.AvgChainLength())
+	if l := withEMC.EMCMissLatency(); l > 0 {
+		fmt.Printf("\nEMC-issued misses were %.0f%% faster than core-issued ones (paper Fig. 18: ~20%%)\n",
+			100*(1-l/withEMC.CoreMissLatency()))
+	}
+}

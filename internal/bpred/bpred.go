@@ -1,0 +1,151 @@
+// Package bpred implements the hybrid branch predictor of Table 1: a
+// bimodal (PC-indexed 2-bit counter) component, a gshare (global-history ⊕
+// PC) component, and a chooser table that learns per-branch which component
+// to trust — the classic McFarling combining predictor.
+//
+// The simulator's default configuration draws mispredictions from the trace
+// profiles (standard trace-driven practice, and what the workload
+// calibration targets); setting cpu.Config.UseBranchPredictor replaces the
+// trace flags with this predictor's organic behaviour on the trace's
+// taken/not-taken outcomes.
+package bpred
+
+// Config sizes the predictor tables (entries must be powers of two).
+type Config struct {
+	BimodalEntries int
+	GshareEntries  int
+	ChooserEntries int
+	HistoryBits    int
+}
+
+// DefaultConfig returns a 4K/4K/4K hybrid with 12 history bits.
+func DefaultConfig() Config {
+	return Config{BimodalEntries: 4096, GshareEntries: 4096, ChooserEntries: 4096, HistoryBits: 12}
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+	// Component attribution: which component the chooser used.
+	UsedGshare  uint64
+	UsedBimodal uint64
+}
+
+// Predictor is one core's hybrid branch predictor.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit saturating: >=2 predicts taken
+	gshare  []uint8
+	chooser []uint8 // >=2 prefers gshare
+	history uint64
+
+	Stats Stats
+}
+
+// New builds a predictor; it panics on non-power-of-two table sizes.
+func New(cfg Config) *Predictor {
+	for _, n := range []int{cfg.BimodalEntries, cfg.GshareEntries, cfg.ChooserEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			panic("bpred: table sizes must be powers of two")
+		}
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		gshare:  make([]uint8, cfg.GshareEntries),
+		chooser: make([]uint8, cfg.ChooserEntries),
+	}
+	// Weakly-taken initialization, weakly-prefer-bimodal chooser.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) bIdx(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.BimodalEntries-1))
+}
+
+func (p *Predictor) gIdx(pc uint64) int {
+	h := p.history & (1<<uint(p.cfg.HistoryBits) - 1)
+	return int(((pc >> 2) ^ h) & uint64(p.cfg.GshareEntries-1))
+}
+
+func (p *Predictor) cIdx(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.ChooserEntries-1))
+}
+
+// Predict returns the predicted direction for a branch at pc without
+// training (Update is predict-and-train in one step).
+func (p *Predictor) Predict(pc uint64) bool {
+	if p.chooser[p.cIdx(pc)] >= 2 {
+		return p.gshare[p.gIdx(pc)] >= 2
+	}
+	return p.bimodal[p.bIdx(pc)] >= 2
+}
+
+// Update trains the predictor with the branch's actual outcome and returns
+// whether the prediction (re-derived from pre-update state) was wrong.
+func (p *Predictor) Update(pc uint64, taken bool) (mispredicted bool) {
+	p.Stats.Lookups++
+	bi, gi, ci := p.bIdx(pc), p.gIdx(pc), p.cIdx(pc)
+	bPred := p.bimodal[bi] >= 2
+	gPred := p.gshare[gi] >= 2
+	used := bPred
+	if p.chooser[ci] >= 2 {
+		used = gPred
+		p.Stats.UsedGshare++
+	} else {
+		p.Stats.UsedBimodal++
+	}
+	mispredicted = used != taken
+
+	// Chooser trains toward the component that was right (only when they
+	// disagree).
+	if bPred != gPred {
+		if gPred == taken {
+			bump(&p.chooser[ci], true)
+		} else {
+			bump(&p.chooser[ci], false)
+		}
+	}
+	bump(&p.bimodal[bi], taken)
+	bump(&p.gshare[gi], taken)
+	p.history = p.history<<1 | b2u(taken)
+	if mispredicted {
+		p.Stats.Mispredicts++
+	}
+	return mispredicted
+}
+
+// MispredictRate returns lifetime mispredictions per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Stats.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Stats.Mispredicts) / float64(p.Stats.Lookups)
+}
+
+func bump(c *uint8, up bool) {
+	if up {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,130 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400100)
+	for i := 0; i < 16; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("always-taken branch should predict taken")
+	}
+	// The last 12 updates must all have been correct.
+	p2 := New(DefaultConfig())
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if p2.Update(pc, true) {
+			miss++
+		}
+	}
+	if miss > 3 {
+		t.Errorf("%d mispredicts on an always-taken branch", miss)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400200)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if p.Update(pc, false) {
+			miss++
+		}
+	}
+	if miss > 4 {
+		t.Errorf("%d mispredicts on a never-taken branch", miss)
+	}
+}
+
+// TestGsharePattern: a strictly alternating branch defeats bimodal but is
+// learnable from global history; the chooser must migrate to gshare.
+func TestGsharePattern(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400300)
+	taken := false
+	// Warm up.
+	for i := 0; i < 200; i++ {
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	miss := 0
+	for i := 0; i < 200; i++ {
+		if p.Update(pc, taken) {
+			miss++
+		}
+		taken = !taken
+	}
+	if miss > 10 {
+		t.Errorf("alternating pattern: %d/200 mispredicts after warmup", miss)
+	}
+	if p.Stats.UsedGshare == 0 {
+		t.Error("chooser never used gshare on a history-correlated branch")
+	}
+}
+
+// TestLoopPattern: taken N-1 times then not-taken once — gshare should get
+// the loop exit after warmup.
+func TestLoopPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400400)
+	const trip = 8
+	run := func(iters int) int {
+		miss := 0
+		for i := 0; i < iters; i++ {
+			taken := i%trip != trip-1
+			if p.Update(pc, taken) {
+				miss++
+			}
+		}
+		return miss
+	}
+	run(400) // warmup
+	miss := run(400)
+	// A bimodal-only predictor would miss every loop exit: 400/8 = 50.
+	if miss >= 50 {
+		t.Errorf("loop exits not learned: %d/400 mispredicts", miss)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400500)
+	x := uint64(88172645463325252)
+	miss := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if p.Update(pc, x&1 == 0) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random branch mispredict rate %.2f far from chance", rate)
+	}
+}
+
+func TestMispredictRateAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.MispredictRate() != 0 {
+		t.Error("empty predictor should report 0")
+	}
+	p.Predict(0x400000)
+	p.Update(0x400000, true)
+	if p.Stats.Lookups != 1 {
+		t.Errorf("lookups = %d", p.Stats.Lookups)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two size")
+		}
+	}()
+	New(Config{BimodalEntries: 1000, GshareEntries: 4096, ChooserEntries: 4096, HistoryBits: 12})
+}

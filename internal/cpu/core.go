@@ -1,0 +1,796 @@
+// Package cpu implements the cycle-level out-of-order core model of Table 1:
+// 4-wide fetch/rename/issue/retire, a 256-entry reorder buffer with ROB-slot
+// renaming, a 92-entry reservation station with a common data bus, a
+// load/store queue with store-to-load forwarding, write-through L1 caches,
+// and the dependence-chain generation unit of §4.2 of the paper.
+//
+// The core is trace driven: it pulls value-consistent uops from a
+// trace.Reader and executes them functionally, so register values (and thus
+// the live-ins shipped to the Enhanced Memory Controller) are real.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem/cache"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Config sizes one core (defaults mirror Table 1).
+type Config struct {
+	ID          int
+	FetchWidth  int
+	IssueWidth  int
+	RetireWidth int
+	ROBSize     int
+	RSSize      int
+	LQSize      int
+	SQSize      int
+	MemPorts    int // loads+stores issued per cycle
+
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L1Latency        int
+	MSHRs            int
+
+	TLBEntries  int
+	TLBWalkLat  int
+	StoreBuffer int
+
+	MispredictPenalty int
+	ICacheMissPenalty int
+
+	// Chain generation (§4.2).
+	ChainMaxUops    int // 16
+	ChainMaxRegs    int // EMC PRF size, 16
+	ChainMaxLiveIns int // live-in vector, 16
+	DepCounterBits  int // 3-bit saturating counter
+	// MaxActiveChains bounds chains buffered/in flight per core (the core
+	// buffers generated chains before transmission, §4.2).
+	MaxActiveChains int
+
+	// EMCEnabled gates chain generation entirely (baseline configs).
+	EMCEnabled bool
+
+	// Runahead configures the runahead-execution engine (the comparison
+	// baseline; see runahead.go).
+	Runahead RunaheadConfig
+
+	// UseBranchPredictor replaces the trace-carried mispredict flags with
+	// the hybrid predictor of Table 1 (bimodal + gshare + chooser) running
+	// on the trace's actual branch outcomes.
+	UseBranchPredictor bool
+	BranchPredictor    bpred.Config
+}
+
+// DefaultConfig returns the Table-1 core.
+func DefaultConfig(id int) Config {
+	return Config{
+		ID: id, FetchWidth: 4, IssueWidth: 4, RetireWidth: 4,
+		ROBSize: 256, RSSize: 92, LQSize: 64, SQSize: 48, MemPorts: 2,
+		L1ISize: 32 * 1024, L1IWays: 8, L1DSize: 32 * 1024, L1DWays: 8,
+		L1Latency: 3, MSHRs: 16,
+		TLBEntries: 64, TLBWalkLat: 30, StoreBuffer: 32,
+		MispredictPenalty: 14, ICacheMissPenalty: 30,
+		ChainMaxUops: 16, ChainMaxRegs: 16, ChainMaxLiveIns: 16,
+		DepCounterBits: 3, MaxActiveChains: 2,
+		Runahead:        DefaultRunaheadConfig(),
+		BranchPredictor: bpred.DefaultConfig(),
+	}
+}
+
+// MissInfo describes a demand load miss leaving the core for the uncore.
+type MissInfo struct {
+	CoreID   int
+	LineAddr uint64 // physical line address
+	VAddr    uint64
+	PC       uint64
+	IssuedAt uint64
+	// Dependent marks a load whose address derives from a prior LLC miss
+	// (the paper's dependent cache miss).
+	Dependent bool
+
+	// Prefetch marks a runahead-issued request: fill the LLC, no core
+	// waiter.
+	Prefetch bool
+}
+
+// Uncore is the core's window onto the rest of the chip; the system
+// simulator implements it. Fills come back via Core.Fill.
+type Uncore interface {
+	// LoadMiss requests a cache-line fill.
+	LoadMiss(m *MissInfo)
+	// StoreWrite propagates a retired write-through store toward the LLC.
+	StoreWrite(coreID int, lineAddr uint64, vaddr uint64)
+}
+
+type entryState uint8
+
+const (
+	stEmpty entryState = iota
+	stWaiting
+	stReady  // in ready queue
+	stIssued // executing
+	stDone
+)
+
+type srcKind uint8
+
+const (
+	srcNone srcKind = iota
+	srcValue
+	srcTag
+)
+
+type robEntry struct {
+	u     isa.Uop
+	state entryState
+	seq   uint64 // dispatch order (monotone)
+
+	srcKind  [2]srcKind
+	srcVal   [2]uint64
+	srcTag   [2]int32
+	srcTaint [2]bool
+	// srcTaintSrc tracks which ROB slot's LLC miss the taint came from
+	// (with its dispatch seq to detect slot reuse), so dependent misses can
+	// credit their producer for counter training.
+	srcTaintSrc [2]int32
+	srcTaintSeq [2]uint64
+
+	val          uint64
+	taint        bool // value derived from an LLC miss
+	taintSrc     int32
+	taintSeq     uint64
+	wasDependent bool // this load's address derived from a prior LLC miss
+
+	consumers []int32 // rob slots waiting on this entry's result
+
+	// Memory state.
+	vaddr      uint64
+	paddr      uint64
+	addrValid  bool
+	isLLCMiss  bool
+	forwarded  bool
+	memBlocked bool // parked in the LSQ retry list
+	l1Counted  bool // this load already counted as an L1D miss (retries)
+
+	// EMC state.
+	remote          bool // shipped to the EMC; do not issue locally
+	inChain         bool
+	chainRef        *Chain // the chain this uop was shipped in (remote uops)
+	producedDepMiss bool
+
+	issuedAt uint64
+}
+
+const eventHorizon = 256
+
+// Stats aggregates core-side counters.
+type Stats struct {
+	Cycles           uint64
+	Retired          uint64
+	Loads            uint64
+	Stores           uint64
+	Branches         uint64
+	Mispredicts      uint64
+	FetchStallCycles uint64
+	ROBFullCycles    uint64
+	FullWindowStalls uint64 // cycles stalled with a miss blocking retirement
+
+	L1DMisses          uint64
+	L1MissRequests     uint64 // line requests sent to the uncore
+	LLCMissLoads       uint64 // loads the LLC reported as misses
+	DependentMissLoads uint64
+	StoreForwards      uint64
+	ICacheMisses       uint64
+	TLBWalks           uint64
+
+	// Load-miss latency observed at the core (issue -> usable data).
+	MissLatencySum uint64
+	MissCount      uint64
+
+	// Chain generation.
+	ChainsGenerated    uint64
+	ChainUops          uint64
+	ChainLiveIns       uint64
+	ChainLiveOuts      uint64
+	ChainGenCycles     uint64
+	ChainAborts        uint64
+	ChainNoCandidate   uint64
+	RemoteCompleted    uint64 // uops completed by EMC live-outs
+	DepCounterInc      uint64
+	DepCounterDec      uint64
+	ChainDeliverySum   uint64 // live-out delivery time after source fill
+	ChainDeliveryCount uint64
+	ChainLoadsRemote   uint64 // loads completed at the EMC
+	RemoteHeadStall    uint64 // retire blocked by a not-yet-completed remote uop
+	ChainCancels       uint64 // chains stale before transmission
+	ChainLeadSum       int64  // source-fill time minus generation start
+	ChainLeadCount     uint64
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg    Config
+	feed   *peekFeed
+	done   bool // trace exhausted
+	uncore Uncore
+
+	pt  *vm.PageTable
+	tlb *vm.TLB
+	l1i *cache.Cache
+	l1d *cache.Cache
+	msh *cache.MSHRFile
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+	nextSeq  uint64
+
+	renameMap [isa.NumArchRegs]int32
+	archVal   [isa.NumArchRegs]uint64
+	archTaint [isa.NumArchRegs]bool
+
+	rsCount int
+	readyQ  []int32
+
+	events    [eventHorizon][]int32
+	lq, sq    []int32 // rob slots of in-flight loads/stores, program order
+	blockedLd []int32 // loads waiting on LSQ conditions or MSHR space
+
+	storeBuf []storeWrite
+
+	fetchHold        int32 // rob slot of unresolved mispredicted branch, -1
+	fetchBlockedTill uint64
+
+	pendingFetch *isa.Uop // uop fetched but not yet dispatched (stall)
+
+	depCounter int
+	depMax     int
+
+	chains           []*Chain // active: generated, shipped, not yet resolved
+	lastChainAttempt uint64
+	conflicted       []*Chain // chains caught by late memory disambiguation
+
+	ra           RunaheadConfig
+	lastRunahead uint64
+	bp           *bpred.Predictor
+
+	now           uint64
+	Stats         Stats
+	RunaheadStats RunaheadStats
+
+	// Debug counters (not part of Stats).
+	DbgChainBusy  uint64
+	DbgCounterLow uint64
+	DbgStallHeads uint64
+	lastStallHead uint64
+
+	// waitingFill maps line -> true while an I-cache fill is pending.
+	icFillAt uint64
+}
+
+type storeWrite struct {
+	lineAddr uint64
+	vaddr    uint64
+}
+
+// New builds a core over a trace feed, a page table, and an uncore.
+func New(cfg Config, feed trace.Reader, pt *vm.PageTable, uncore Uncore) *Core {
+	c := &Core{
+		cfg:    cfg,
+		feed:   newPeekFeed(feed),
+		uncore: uncore,
+		pt:     pt,
+		tlb:    vm.NewTLB(cfg.TLBEntries, cfg.TLBWalkLat),
+		l1i: cache.New(cache.Config{Name: fmt.Sprintf("l1i%d", cfg.ID),
+			SizeBytes: cfg.L1ISize, Ways: cfg.L1IWays, Latency: cfg.L1Latency, WriteThrough: true}),
+		l1d: cache.New(cache.Config{Name: fmt.Sprintf("l1d%d", cfg.ID),
+			SizeBytes: cfg.L1DSize, Ways: cfg.L1DWays, Latency: cfg.L1Latency, WriteThrough: true}),
+		msh:       cache.NewMSHRFile(cfg.MSHRs),
+		rob:       make([]robEntry, cfg.ROBSize),
+		fetchHold: -1,
+	}
+	for i := range c.renameMap {
+		c.renameMap[i] = -1
+	}
+	c.depMax = 1<<uint(cfg.DepCounterBits) - 1
+	c.ra = cfg.Runahead
+	if cfg.UseBranchPredictor {
+		c.bp = bpred.New(cfg.BranchPredictor)
+	}
+	return c
+}
+
+// ID returns the core's id.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// L1D exposes the data cache (directory maintenance by the uncore).
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// Finished reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Finished() bool {
+	return c.done && c.robCount == 0 && len(c.storeBuf) == 0 && c.pendingFetch == nil
+}
+
+func (c *Core) slot(i int32) *robEntry { return &c.rob[i] }
+
+func (c *Core) robIndexAt(offset int) int32 {
+	return int32((c.robHead + offset) % c.cfg.ROBSize)
+}
+
+// Tick advances the core one cycle. Order: retire, complete, issue,
+// dispatch/fetch — standard reverse-pipeline order so results are visible
+// to younger stages one cycle later.
+func (c *Core) Tick(now uint64) {
+	c.now = now
+	c.Stats.Cycles++
+	c.retire()
+	c.complete()
+	c.drainStoreBuffer()
+	c.retryBlockedLoads()
+	c.issue()
+	c.dispatch()
+	c.maybeStartChain()
+	c.maybeRunahead()
+}
+
+// ---- Retire ----------------------------------------------------------------
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
+		idx := int32(c.robHead)
+		e := c.slot(idx)
+		if e.state != stDone {
+			if e.remote {
+				c.Stats.RemoteHeadStall++
+			}
+			if e.u.Op == isa.OpLoad && e.isLLCMiss {
+				if c.robCount == c.cfg.ROBSize {
+					c.Stats.FullWindowStalls++
+				}
+			}
+			if c.robCount == c.cfg.ROBSize {
+				c.Stats.ROBFullCycles++
+			}
+			return
+		}
+		// Stores drain through the post-retirement store buffer; stall
+		// retirement if it is full.
+		if e.u.Op == isa.OpStore {
+			if len(c.storeBuf) >= c.cfg.StoreBuffer {
+				return
+			}
+			c.storeBuf = append(c.storeBuf, storeWrite{lineAddr: cache.LineAddr(e.paddr), vaddr: e.vaddr})
+		}
+		// Commit the architectural register value.
+		if e.u.HasDst() {
+			if c.renameMap[e.u.Dst] == idx {
+				c.renameMap[e.u.Dst] = -1
+			}
+			c.archVal[e.u.Dst] = e.val
+			c.archTaint[e.u.Dst] = e.taint
+		}
+		// Remove from LSQ program-order lists.
+		switch e.u.Op {
+		case isa.OpLoad:
+			c.lq = removeSlot(c.lq, idx)
+		case isa.OpStore:
+			c.sq = removeSlot(c.sq, idx)
+		}
+		e.state = stEmpty
+		e.consumers = nil
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+		c.Stats.Retired++
+	}
+}
+
+func removeSlot(list []int32, idx int32) []int32 {
+	for i, v := range list {
+		if v == idx {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func (c *Core) bumpDepCounter(d int) {
+	if d > 0 {
+		c.Stats.DepCounterInc++
+	} else {
+		c.Stats.DepCounterDec++
+	}
+	c.depCounter += d
+	if c.depCounter < 0 {
+		c.depCounter = 0
+	}
+	if c.depCounter > c.depMax {
+		c.depCounter = c.depMax
+	}
+}
+
+// DepCounterHigh reports whether either of the top two bits of the
+// saturating counter is set (the paper's trigger condition).
+func (c *Core) DepCounterHigh() bool {
+	return c.depCounter >= 1<<uint(c.cfg.DepCounterBits-2)
+}
+
+// ---- Complete / common data bus ---------------------------------------------
+
+func (c *Core) schedule(idx int32, at uint64) {
+	if at <= c.now {
+		at = c.now + 1
+	}
+	if at-c.now >= eventHorizon {
+		panic("cpu: completion scheduled beyond event horizon")
+	}
+	c.events[at%eventHorizon] = append(c.events[at%eventHorizon], idx)
+}
+
+func (c *Core) complete() {
+	bucket := c.now % eventHorizon
+	list := c.events[bucket]
+	c.events[bucket] = nil
+	for _, idx := range list {
+		e := c.slot(idx)
+		if e.state != stIssued {
+			continue
+		}
+		c.finish(idx, e.val)
+	}
+}
+
+// finish marks an entry done with its result value and wakes consumers.
+func (c *Core) finish(idx int32, val uint64) {
+	e := c.slot(idx)
+	e.val = val
+	e.state = stDone
+	for _, cons := range e.consumers {
+		ce := c.slot(cons)
+		if ce.state == stEmpty {
+			continue
+		}
+		for s := 0; s < 2; s++ {
+			if ce.srcKind[s] == srcTag && ce.srcTag[s] == idx {
+				ce.srcKind[s] = srcValue
+				ce.srcVal[s] = val
+				ce.srcTaint[s] = e.taint
+				ce.srcTaintSrc[s] = e.taintSrc
+				ce.srcTaintSeq[s] = e.taintSeq
+			}
+		}
+		c.maybeWake(cons)
+	}
+	e.consumers = nil
+}
+
+func (c *Core) maybeWake(idx int32) {
+	e := c.slot(idx)
+	if e.state != stWaiting {
+		return
+	}
+	for s := 0; s < 2; s++ {
+		if e.srcKind[s] == srcTag {
+			return
+		}
+	}
+	e.state = stReady
+	c.readyQ = append(c.readyQ, idx)
+}
+
+// ---- Issue -------------------------------------------------------------------
+
+func (c *Core) issue() {
+	issued, memIssued := 0, 0
+	for i := 0; i < len(c.readyQ) && issued < c.cfg.IssueWidth; {
+		idx := c.readyQ[i]
+		e := c.slot(idx)
+		if e.state != stReady {
+			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+			continue
+		}
+		if e.remote {
+			// Shipped to the EMC: parked; completion arrives as a live-out.
+			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+			continue
+		}
+		if e.u.IsMem() && memIssued >= c.cfg.MemPorts {
+			i++
+			continue
+		}
+		c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+		if c.issueOne(idx) {
+			issued++
+			if e.u.IsMem() {
+				memIssued++
+			}
+		}
+	}
+}
+
+// issueOne executes an entry. Returns false if it could not issue (parked).
+func (c *Core) issueOne(idx int32) bool {
+	e := c.slot(idx)
+	e.state = stIssued
+	e.issuedAt = c.now
+	c.rsCount--
+	e.taint = e.srcTaint[0] || e.srcTaint[1]
+	e.taintSrc = -1
+	for s := 0; s < 2; s++ {
+		if e.srcTaint[s] {
+			e.taintSrc = e.srcTaintSrc[s]
+			e.taintSeq = e.srcTaintSeq[s]
+			break
+		}
+	}
+	switch e.u.Op.Class() {
+	case isa.ClassLoad:
+		return c.issueLoad(idx)
+	case isa.ClassStore:
+		// Address+data resolution; visibility happens post-retirement.
+		e.vaddr = isa.AddrOf(&e.u, e.srcVal[0])
+		paddr, tlbLat := c.translate(e.vaddr)
+		e.paddr = paddr
+		e.addrValid = true
+		e.val = e.srcVal[1]
+		c.schedule(idx, c.now+1+uint64(tlbLat))
+		c.checkLateDisambiguation(e)
+		c.unblockLoadsFor()
+		return true
+	case isa.ClassBranch:
+		c.schedule(idx, c.now+1)
+		if e.u.Mispredicted {
+			// Redirect: the front end restarts after resolution + penalty.
+			c.fetchBlockedTill = c.now + 1 + uint64(c.cfg.MispredictPenalty)
+			if c.fetchHold == idx {
+				c.fetchHold = -1
+			}
+		}
+		return true
+	default:
+		e.val = isa.EvalUop(&e.u, e.srcVal[0], e.srcVal[1])
+		c.schedule(idx, c.now+uint64(e.u.Op.Latency()))
+		return true
+	}
+}
+
+func (c *Core) translate(vaddr uint64) (paddr uint64, lat int) {
+	paddr, lat = c.tlb.Access(c.pt, vaddr)
+	if lat > 0 {
+		c.Stats.TLBWalks++
+	}
+	return paddr, lat
+}
+
+// Fill delivers a cache-line fill from the uncore. It completes all loads
+// waiting on the line, installs it in the L1D, and returns the evicted
+// victim line (if any) so the caller can maintain the LLC directory.
+func (c *Core) Fill(lineAddr uint64, now uint64) (victim uint64, hadVictim bool) {
+	c.now = now
+	m := c.msh.Complete(lineAddr)
+	if m == nil {
+		return 0, false
+	}
+	for _, ch := range c.chains {
+		if ch.SourceFilledAt == 0 && ch.SourceLine == lineAddr {
+			ch.SourceFilledAt = now
+		}
+	}
+	for _, w := range m.Waiters {
+		idx := int32(w)
+		e := c.slot(idx)
+		if e.state != stIssued || e.u.Op != isa.OpLoad || cache.LineAddr(e.paddr) != lineAddr {
+			continue
+		}
+		e.val = e.u.Value
+		c.schedule(idx, now+1)
+		if e.isLLCMiss {
+			c.Stats.MissLatencySum += now - e.issuedAt
+			c.Stats.MissCount++
+		}
+	}
+	v := c.l1d.Insert(lineAddr<<cache.LineShift, false)
+	if v.Valid {
+		return v.LineAddr, true
+	}
+	return 0, false
+}
+
+// ---- Dispatch / fetch --------------------------------------------------------
+
+func (c *Core) dispatch() {
+	if c.now < c.fetchBlockedTill || c.now < c.icFillAt {
+		c.Stats.FetchStallCycles++
+		return
+	}
+	if c.fetchHold >= 0 {
+		// Waiting for a mispredicted branch to resolve.
+		c.Stats.FetchStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.robCount >= c.cfg.ROBSize || c.rsCount >= c.cfg.RSSize {
+			return
+		}
+		u := c.pendingFetch
+		if u == nil {
+			if c.done {
+				return
+			}
+			uu, ok := c.feed.Next()
+			if !ok {
+				c.done = true
+				return
+			}
+			u = &uu
+		}
+		// LSQ capacity.
+		switch u.Op {
+		case isa.OpLoad:
+			if len(c.lq) >= c.cfg.LQSize {
+				c.pendingFetch = u
+				return
+			}
+		case isa.OpStore:
+			if len(c.sq) >= c.cfg.SQSize {
+				c.pendingFetch = u
+				return
+			}
+		}
+		// Instruction cache.
+		if !c.l1i.Access(u.PC, false) {
+			c.l1i.Insert(u.PC, false)
+			c.Stats.ICacheMisses++
+			c.icFillAt = c.now + uint64(c.cfg.ICacheMissPenalty)
+			c.pendingFetch = u
+			return
+		}
+		c.pendingFetch = nil
+		if u.Op == isa.OpBranch && c.bp != nil {
+			// The hybrid predictor overrides the trace's mispredict flag
+			// with its own organic behaviour on the actual outcome.
+			u.Mispredicted = c.bp.Update(u.PC, u.Taken)
+		}
+		c.dispatchUop(u)
+		if u.Op == isa.OpBranch && u.Mispredicted {
+			// Stop fetching past an unresolved mispredicted branch.
+			c.fetchHold = c.robIndexAt(c.robCount - 1)
+			return
+		}
+	}
+}
+
+func (c *Core) dispatchUop(u *isa.Uop) {
+	idx := c.robIndexAt(c.robCount)
+	c.robCount++
+	e := c.slot(idx)
+	*e = robEntry{u: *u, state: stWaiting, seq: c.nextSeq}
+	c.nextSeq++
+	c.rsCount++
+
+	srcs := [2]isa.Reg{u.Src1, u.Src2}
+	for s, r := range srcs {
+		if !r.Valid() {
+			e.srcKind[s] = srcNone
+			continue
+		}
+		if prod := c.renameMap[r]; prod >= 0 {
+			pe := c.slot(prod)
+			if pe.state == stDone {
+				e.srcKind[s] = srcValue
+				e.srcVal[s] = pe.val
+				e.srcTaint[s] = pe.taint
+				e.srcTaintSrc[s] = pe.taintSrc
+				e.srcTaintSeq[s] = pe.taintSeq
+			} else {
+				e.srcKind[s] = srcTag
+				e.srcTag[s] = prod
+				pe.consumers = append(pe.consumers, idx)
+			}
+		} else {
+			e.srcKind[s] = srcValue
+			e.srcVal[s] = c.archVal[r]
+			e.srcTaint[s] = c.archTaint[r]
+			// Architectural taint is stale past retirement; no producer
+			// crediting across the commit boundary.
+			e.srcTaintSrc[s] = -1
+		}
+	}
+	if u.HasDst() {
+		c.renameMap[u.Dst] = idx
+	}
+	switch u.Op {
+	case isa.OpLoad:
+		c.lq = append(c.lq, idx)
+		c.Stats.Loads++
+	case isa.OpStore:
+		c.sq = append(c.sq, idx)
+		c.Stats.Stores++
+	case isa.OpBranch:
+		c.Stats.Branches++
+		if u.Mispredicted {
+			c.Stats.Mispredicts++
+		}
+	}
+	c.maybeWake(idx)
+}
+
+// ---- Store buffer -------------------------------------------------------------
+
+func (c *Core) drainStoreBuffer() {
+	if len(c.storeBuf) == 0 {
+		return
+	}
+	w := c.storeBuf[0]
+	c.storeBuf = c.storeBuf[1:]
+	// Write-through: update L1 if present (no allocate on miss).
+	if c.l1d.Probe(w.lineAddr << cache.LineShift) {
+		c.l1d.Access(w.lineAddr<<cache.LineShift, true)
+	}
+	c.uncore.StoreWrite(c.cfg.ID, w.lineAddr, w.vaddr)
+}
+
+// checkLateDisambiguation catches the ordering violation the EMC cannot see:
+// an older store resolving to the same address as a younger load the EMC
+// already executed. The affected chain must be cancelled (§4.3).
+func (c *Core) checkLateDisambiguation(st *robEntry) {
+	if !c.cfg.EMCEnabled {
+		return
+	}
+	for _, lIdx := range c.lq {
+		le := c.slot(lIdx)
+		if le.seq <= st.seq || !le.inChain || !le.addrValid || le.chainRef == nil {
+			continue
+		}
+		if le.vaddr == st.vaddr {
+			c.conflicted = append(c.conflicted, le.chainRef)
+			le.chainRef = nil
+		}
+	}
+}
+
+// TakeConflictedChains drains chains caught by late disambiguation; the
+// system aborts them at the EMC.
+func (c *Core) TakeConflictedChains() []*Chain {
+	if len(c.conflicted) == 0 {
+		return nil
+	}
+	out := c.conflicted
+	c.conflicted = nil
+	return out
+}
+
+// BranchPredictor exposes the hybrid predictor (nil when the core uses
+// trace-carried mispredict flags).
+func (c *Core) BranchPredictor() *bpred.Predictor { return c.bp }
+
+// ShootdownTLB removes a translation from the core's TLB (the OS-initiated
+// TLB-shootdown path; the system propagates it to the EMC TLBs via the
+// PTE's residence bit, §4.1.4).
+func (c *Core) ShootdownTLB(vaddr uint64) {
+	c.tlb.Invalidate(vaddr, c.pt.Shift())
+}
+
+// FullWindowStalled reports whether the core is stalled with a full window
+// and a load with an outstanding LLC miss blocking retirement — the paper's
+// chain-generation trigger state. "Full window" means dispatch is blocked:
+// either the ROB is full or the reservation station is exhausted (on a
+// dependence-heavy window the 92-entry RS fills well before the 256-entry
+// ROB; both block the front end identically).
+func (c *Core) FullWindowStalled() bool {
+	if c.robCount == 0 {
+		return false
+	}
+	if c.robCount < c.cfg.ROBSize && c.rsCount < c.cfg.RSSize {
+		return false
+	}
+	e := c.slot(int32(c.robHead))
+	return e.u.Op == isa.OpLoad && e.state == stIssued && e.isLLCMiss
+}

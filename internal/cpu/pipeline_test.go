@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestIssueWidthBound: a burst of independent single-cycle uops retires no
+// faster than the machine width allows.
+func TestIssueWidthBound(t *testing.T) {
+	const n = 400
+	var uops []isa.Uop
+	for i := 0; i < n; i++ {
+		uops = append(uops, isa.Uop{
+			Op: isa.OpAdd, Src1: isa.Reg(i % 4), Src2: isa.RegNone,
+			Dst: isa.Reg(i % 4), Imm: 1,
+			Seq: uint64(i), PC: 0x400000 + uint64(i%16*4),
+		})
+	}
+	c, fu := buildCore(t, uops, 100, nil)
+	runCore(t, c, fu, 10000)
+	// 4-wide machine: at least n/4 cycles.
+	if c.Stats.Cycles < n/4 {
+		t.Errorf("%d uops in %d cycles exceeds machine width", n, c.Stats.Cycles)
+	}
+	// And with no stalls it should be close to that bound (within ~4x for
+	// pipeline fill and I-cache warmup).
+	if c.Stats.Cycles > n {
+		t.Errorf("independent ALU stream too slow: %d cycles for %d uops", c.Stats.Cycles, n)
+	}
+}
+
+// TestSerialDependenceBound: a fully serial ALU chain takes at least one
+// cycle per uop regardless of width.
+func TestSerialDependenceBound(t *testing.T) {
+	const n = 300
+	var uops []isa.Uop
+	uops = append(uops, movImm(1, 0))
+	for i := 1; i <= n; i++ {
+		uops = append(uops, isa.Uop{
+			Op: isa.OpAdd, Src1: 1, Src2: isa.RegNone, Dst: 1, Imm: 1,
+			Seq: uint64(i), PC: 0x400000 + uint64(i%16*4),
+		})
+	}
+	uops[0].Seq = 0
+	uops[0].PC = 0x400000
+	c, fu := buildCore(t, uops, 100, nil)
+	runCore(t, c, fu, 10000)
+	if c.Stats.Cycles < n {
+		t.Errorf("serial chain of %d finished in %d cycles (impossible)", n, c.Stats.Cycles)
+	}
+	if c.archVal[1] != n {
+		t.Errorf("r1 = %d, want %d", c.archVal[1], n)
+	}
+}
+
+// TestMemPortsBound: loads are limited to MemPorts per cycle.
+func TestMemPortsBound(t *testing.T) {
+	const n = 200
+	var uops []isa.Uop
+	uops = append(uops, movImm(1, 0x10000))
+	for i := 1; i <= n; i++ {
+		uops = append(uops, isa.Uop{
+			Op: isa.OpLoad, Src1: 1, Src2: isa.RegNone, Dst: isa.Reg(2 + i%4),
+			Imm: int64(i%8) * 8, Addr: 0x10000 + uint64(i%8)*8, Value: 7,
+			Seq: uint64(i), PC: 0x400000 + uint64(i%16*4),
+		})
+	}
+	uops[0].Seq = 0
+	uops[0].PC = 0x400000
+	c, fu := buildCore(t, uops, 30, nil)
+	runCore(t, c, fu, 20000)
+	// 2 memory ports: at least n/2 cycles.
+	if c.Stats.Cycles < n/2 {
+		t.Errorf("%d loads in %d cycles exceeds 2 mem ports", n, c.Stats.Cycles)
+	}
+}
+
+// TestEventHorizonGuard: scheduling beyond the horizon must panic loudly
+// rather than silently dropping a completion.
+func TestEventHorizonGuard(t *testing.T) {
+	c, _ := buildCore(t, nil, 10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for beyond-horizon scheduling")
+		}
+	}()
+	c.schedule(0, uint64(eventHorizon)+10)
+}
+
+// TestFinishedSemantics: a core with an empty trace is finished immediately
+// after its first tick; a core mid-flight is not.
+func TestFinishedSemantics(t *testing.T) {
+	c, fu := buildCore(t, nil, 10, nil)
+	c.Tick(1)
+	_ = fu
+	if !c.Finished() {
+		t.Error("empty-trace core should finish immediately")
+	}
+	c2, _ := buildCore(t, []isa.Uop{movImm(1, 5)}, 10, nil)
+	if c2.Finished() {
+		t.Error("unstarted core must not report finished")
+	}
+}
+
+// TestHybridPredictorIntegration: with the real predictor, branch
+// mispredictions become emergent (biased branches ~0, random branches
+// ~chance) instead of trace-drawn.
+func TestHybridPredictorIntegration(t *testing.T) {
+	var uops []isa.Uop
+	add := func(u isa.Uop, pc uint64) {
+		u.Seq = uint64(len(uops))
+		u.PC = pc
+		uops = append(uops, u)
+	}
+	x := uint64(0x12345)
+	for i := 0; i < 2000; i++ {
+		add(isa.Uop{Op: isa.OpAdd, Src1: 0, Src2: isa.RegNone, Dst: 0, Imm: 1},
+			0x400000+uint64(i%16*4))
+		// A perfectly biased branch at one PC, a random one at another. The
+		// trace marks BOTH as always-mispredicted; the real predictor must
+		// override that.
+		add(isa.Uop{Op: isa.OpBranch, Src1: 0, Src2: isa.RegNone, Dst: isa.RegNone,
+			Taken: true, Mispredicted: true}, 0x400040)
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		add(isa.Uop{Op: isa.OpBranch, Src1: 0, Src2: isa.RegNone, Dst: isa.RegNone,
+			Taken: x&1 == 0, Mispredicted: true}, 0x400044)
+	}
+	c, fu := buildCore(t, uops, 50, func(cfg *Config) { cfg.UseBranchPredictor = true })
+	runCore(t, c, fu, 2_000_000)
+	bp := c.BranchPredictor()
+	if bp == nil {
+		t.Fatal("predictor not installed")
+	}
+	rate := bp.MispredictRate()
+	// Half the branches are biased (learned ~perfectly), half random
+	// (~50%): overall ~25%.
+	if rate < 0.10 || rate > 0.40 {
+		t.Errorf("emergent mispredict rate %.2f outside [0.10, 0.40]", rate)
+	}
+	// The core's mispredict stat must reflect the predictor, not the trace
+	// flags (which claimed 100%).
+	if c.Stats.Mispredicts >= c.Stats.Branches {
+		t.Error("trace flags leaked through the real predictor")
+	}
+}

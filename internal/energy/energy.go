@@ -1,0 +1,135 @@
+// Package energy is an event-counter energy model in the spirit of
+// McPAT/CACTI as used by the paper (§5): static power integrated over the
+// workload's runtime plus per-event dynamic energies for the cores, caches,
+// interconnect, DRAM, the EMC, and the chain-generation unit's extra events
+// (CDB tag broadcasts, RRT reads/writes, ROB reads, ring transfers).
+//
+// Absolute joules are calibrated constants, not silicon measurements; the
+// experiments only compare energy across configurations of the same system,
+// where the relative effects (shorter runtime, fewer row conflicts, small
+// EMC traffic vs. large prefetch overtraffic) dominate.
+package energy
+
+// Model holds the per-event energies (nanojoules) and static powers (watts).
+type Model struct {
+	// Static power.
+	CoreStaticW        float64 // per core
+	LLCStaticWPerMB    float64
+	EMCStaticW         float64 // §6.6: EMC is ~10% of a core
+	DRAMStaticWPerChan float64
+
+	// Core dynamic, nJ per event.
+	UopNJ          float64
+	FPUopNJ        float64
+	L1AccessNJ     float64
+	ROBReadNJ      float64
+	CDBBroadcastNJ float64
+	RRTAccessNJ    float64
+
+	// Uncore dynamic.
+	LLCAccessNJ   float64
+	RingHopCtrlNJ float64
+	RingHopDataNJ float64
+
+	// DRAM dynamic.
+	ActivateNJ float64
+	RdWrNJ     float64
+
+	// EMC dynamic.
+	EMCUopNJ   float64
+	EMCCacheNJ float64
+
+	ClockHz float64
+}
+
+// Default returns the calibrated model at the paper's 3.2 GHz clock.
+func Default() Model {
+	return Model{
+		CoreStaticW: 1.8, LLCStaticWPerMB: 0.35, EMCStaticW: 0.19,
+		DRAMStaticWPerChan: 0.9,
+		UopNJ:              0.08, FPUopNJ: 0.22, L1AccessNJ: 0.02,
+		ROBReadNJ: 0.004, CDBBroadcastNJ: 0.006, RRTAccessNJ: 0.002,
+		LLCAccessNJ: 0.45, RingHopCtrlNJ: 0.03, RingHopDataNJ: 0.18,
+		ActivateNJ: 17.0, RdWrNJ: 11.0,
+		EMCUopNJ: 0.05, EMCCacheNJ: 0.008,
+		ClockHz: 3.2e9,
+	}
+}
+
+// Events are the counters a simulation run accumulates.
+type Events struct {
+	Cycles   uint64
+	Cores    int
+	LLCMB    float64
+	EMCs     int // compute-capable memory controllers present
+	Channels int
+
+	Uops       uint64
+	FPUops     uint64
+	L1Accesses uint64
+
+	// Chain-generation events (§5).
+	ChainUops   uint64 // each costs a CDB broadcast + an ROB read
+	ChainSrcOps uint64 // RRT lookups
+	ChainDstOps uint64 // RRT writes
+
+	LLCAccesses  uint64
+	RingHopsCtrl uint64
+	RingHopsData uint64
+
+	DRAMActivates uint64
+	DRAMReads     uint64
+	DRAMWrites    uint64
+
+	EMCUops          uint64
+	EMCCacheAccesses uint64
+}
+
+// Breakdown is the resulting energy split in joules.
+type Breakdown struct {
+	CoreStatic  float64
+	CoreDynamic float64
+	LLCStatic   float64
+	LLCDynamic  float64
+	Ring        float64
+	EMCStatic   float64
+	EMCDynamic  float64
+	DRAMStatic  float64
+	DRAMDynamic float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.CoreStatic + b.CoreDynamic + b.LLCStatic + b.LLCDynamic +
+		b.Ring + b.EMCStatic + b.EMCDynamic + b.DRAMStatic + b.DRAMDynamic
+}
+
+// Chip returns on-chip energy (everything but DRAM).
+func (b Breakdown) Chip() float64 {
+	return b.Total() - b.DRAMStatic - b.DRAMDynamic
+}
+
+const nj = 1e-9
+
+// Compute evaluates the model over a run's event counters.
+func (m Model) Compute(ev Events) Breakdown {
+	secs := float64(ev.Cycles) / m.ClockHz
+	var b Breakdown
+	b.CoreStatic = m.CoreStaticW * float64(ev.Cores) * secs
+	b.CoreDynamic = nj * (m.UopNJ*float64(ev.Uops) +
+		m.FPUopNJ*float64(ev.FPUops) +
+		m.L1AccessNJ*float64(ev.L1Accesses) +
+		(m.CDBBroadcastNJ+m.ROBReadNJ)*float64(ev.ChainUops) +
+		m.RRTAccessNJ*float64(ev.ChainSrcOps+ev.ChainDstOps))
+	b.LLCStatic = m.LLCStaticWPerMB * ev.LLCMB * secs
+	b.LLCDynamic = nj * m.LLCAccessNJ * float64(ev.LLCAccesses)
+	b.Ring = nj * (m.RingHopCtrlNJ*float64(ev.RingHopsCtrl) +
+		m.RingHopDataNJ*float64(ev.RingHopsData))
+	b.EMCStatic = m.EMCStaticW * float64(ev.EMCs) * secs
+	b.EMCDynamic = nj * (m.EMCUopNJ*float64(ev.EMCUops) +
+		m.EMCCacheNJ*float64(ev.EMCCacheAccesses))
+	b.DRAMStatic = m.DRAMStaticWPerChan * float64(ev.Channels) * secs
+	b.DRAMDynamic = nj * (m.ActivateNJ*float64(ev.DRAMActivates) +
+		m.RdWrNJ*float64(ev.DRAMReads+ev.DRAMWrites))
+	return b
+}

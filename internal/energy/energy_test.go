@@ -1,0 +1,99 @@
+package energy
+
+import "testing"
+
+func baseEvents() Events {
+	return Events{
+		Cycles: 1_000_000, Cores: 4, LLCMB: 4, EMCs: 0, Channels: 2,
+		Uops: 200_000, FPUops: 20_000, L1Accesses: 80_000,
+		LLCAccesses: 10_000, RingHopsCtrl: 20_000, RingHopsData: 15_000,
+		DRAMActivates: 3_000, DRAMReads: 8_000, DRAMWrites: 2_000,
+	}
+}
+
+func TestTotalPositiveAndAdditive(t *testing.T) {
+	m := Default()
+	b := m.Compute(baseEvents())
+	if b.Total() <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+	sum := b.CoreStatic + b.CoreDynamic + b.LLCStatic + b.LLCDynamic +
+		b.Ring + b.EMCStatic + b.EMCDynamic + b.DRAMStatic + b.DRAMDynamic
+	if diff := b.Total() - sum; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("Total != sum of parts: %v vs %v", b.Total(), sum)
+	}
+	if b.Chip()+b.DRAMStatic+b.DRAMDynamic != b.Total() {
+		t.Error("Chip + DRAM must equal Total")
+	}
+}
+
+func TestShorterRuntimeReducesStatic(t *testing.T) {
+	m := Default()
+	ev := baseEvents()
+	slow := m.Compute(ev)
+	ev.Cycles /= 2
+	fast := m.Compute(ev)
+	if fast.CoreStatic >= slow.CoreStatic || fast.DRAMStatic >= slow.DRAMStatic {
+		t.Error("halving runtime must halve static energy")
+	}
+	if fast.CoreDynamic != slow.CoreDynamic {
+		t.Error("dynamic energy must not depend on runtime")
+	}
+}
+
+func TestRowConflictsCostEnergy(t *testing.T) {
+	m := Default()
+	ev := baseEvents()
+	base := m.Compute(ev)
+	ev.DRAMActivates *= 2 // more row conflicts => more activates
+	worse := m.Compute(ev)
+	if worse.DRAMDynamic <= base.DRAMDynamic {
+		t.Error("more activates must cost more DRAM energy")
+	}
+}
+
+func TestEMCAddsStaticButLittle(t *testing.T) {
+	m := Default()
+	ev := baseEvents()
+	base := m.Compute(ev)
+	ev.EMCs = 1
+	ev.EMCUops = 5_000
+	ev.EMCCacheAccesses = 3_000
+	withEMC := m.Compute(ev)
+	extra := withEMC.Total() - base.Total()
+	if extra <= 0 {
+		t.Fatal("EMC must add some energy")
+	}
+	// §6.6: the EMC is ~10% of a core; its energy adder must be small
+	// relative to one core's static share.
+	if extra > base.CoreStatic/4/2 {
+		t.Errorf("EMC energy adder too large: %v vs core static %v", extra, base.CoreStatic/4)
+	}
+}
+
+func TestPrefetchTrafficCostsEnergy(t *testing.T) {
+	m := Default()
+	ev := baseEvents()
+	base := m.Compute(ev)
+	// A wasteful prefetcher: 40% more DRAM traffic and ring hops.
+	ev.DRAMReads = ev.DRAMReads * 14 / 10
+	ev.DRAMActivates = ev.DRAMActivates * 14 / 10
+	ev.RingHopsData = ev.RingHopsData * 14 / 10
+	waste := m.Compute(ev)
+	if waste.Total() <= base.Total() {
+		t.Error("extra traffic must increase energy")
+	}
+}
+
+func TestChainGenEvents(t *testing.T) {
+	m := Default()
+	ev := baseEvents()
+	base := m.Compute(ev)
+	ev.ChainUops = 10_000
+	ev.ChainSrcOps = 15_000
+	ev.ChainDstOps = 9_000
+	with := m.Compute(ev)
+	if with.CoreDynamic <= base.CoreDynamic {
+		t.Error("chain generation events must cost core dynamic energy")
+	}
+}

@@ -1,0 +1,74 @@
+package figures
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// energyTable builds an energy-consumption comparison normalized to the
+// no-EMC, no-prefetching baseline for a set of workloads.
+func (s *Suite) energyTable(id, title string, workloads []spec) (*Table, error) {
+	configs := []struct {
+		label string
+		pf    sim.PrefetcherKind
+		emc   bool
+	}{
+		{"emc", sim.PFNone, true},
+		{"ghb", sim.PFGHB, false},
+		{"ghb+emc", sim.PFGHB, true},
+		{"stream", sim.PFStream, false},
+		{"mk+st", sim.PFMarkovStream, false},
+	}
+	var specs []spec
+	for _, w := range workloads {
+		specs = append(specs, spec{name: w.name, bench: w.bench, pf: "none"})
+		for _, c := range configs {
+			specs = append(specs, spec{name: w.name + "+" + c.label, bench: w.bench, pf: c.pf, emc: c.emc})
+		}
+	}
+	results, err := s.runMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"emc", "ghb", "ghb+emc", "stream", "mk+st"},
+		Notes:   "energy relative to the no-prefetch baseline (1.0); paper: EMC ~0.89-0.91, prefetchers >1 from overtraffic",
+	}
+	per := len(configs) + 1
+	cols := make([][]float64, len(configs))
+	for wi, w := range workloads {
+		base := results[wi*per].Energy.Total()
+		row := Row{Label: w.name}
+		for ci := range configs {
+			v := results[wi*per+1+ci].Energy.Total() / base
+			row.Values = append(row.Values, v)
+			cols[ci] = append(cols[ci], v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := Row{Label: "mean"}
+	for ci := range configs {
+		avg.Values = append(avg.Values, mean(cols[ci]))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}
+
+// Fig23 reproduces Figure 23: chip+DRAM energy for the H1–H10 workloads,
+// normalized to the no-EMC, no-prefetching baseline.
+func (s *Suite) Fig23() (*Table, error) {
+	return s.energyTable("Fig23",
+		"Energy, heterogeneous workloads (normalized to no-PF baseline)", h10())
+}
+
+// Fig24 reproduces Figure 24: energy for the homogeneous workloads.
+func (s *Suite) Fig24() (*Table, error) {
+	var ws []spec
+	for _, n := range trace.HighIntensityNames() {
+		ws = append(ws, spec{name: "4x" + n, bench: []string{n, n, n, n}})
+	}
+	return s.energyTable("Fig24",
+		"Energy, homogeneous workloads (normalized to no-PF baseline)", ws)
+}

@@ -1,0 +1,59 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: messages between the same (src, dst) pair deliver in send order
+// (the ring never reorders a flow), which the multi-flit chain transfers
+// rely on.
+func TestPerFlowFIFOProperty(t *testing.T) {
+	f := func(pairs []uint8, n uint8) bool {
+		stops := 4 + int(n%6)
+		r := NewRing("fifo", stops)
+		type key struct{ src, dst int }
+		sent := map[key][]int{}
+		for i, p := range pairs {
+			if len(sent) > 64 {
+				break
+			}
+			src := int(p) % stops
+			dst := int(p>>4) % stops
+			if src == dst {
+				continue
+			}
+			r.Send(src, dst, i, 0)
+			k := key{src, dst}
+			sent[k] = append(sent[k], i)
+		}
+		got := map[key][]int{}
+		for cy := uint64(1); cy <= 2000; cy++ {
+			r.Tick(cy)
+			for s := 0; s < stops; s++ {
+				for _, m := range r.Deliver(s) {
+					k := key{m.Src, m.Dst}
+					got[k] = append(got[k], m.Payload.(int))
+				}
+			}
+			if r.InFlight() == 0 {
+				break
+			}
+		}
+		for k, want := range sent {
+			g := got[k]
+			if len(g) != len(want) {
+				return false
+			}
+			for i := range want {
+				if g[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package interconnect models the chip's on-die interconnect: two
+// bi-directional rings (an 8-byte control ring and a 64-byte data ring, per
+// Table 1 of the paper) connecting the cores' ring stops, their LLC slices,
+// and the memory controller stop(s).
+//
+// Each ring link carries one message per cycle per direction; messages take
+// the shorter way around and contend for links oldest-first. Delivery
+// latency therefore includes both hop count and queueing, which is exactly
+// the "on-chip delay" component the paper measures.
+package interconnect
+
+// Message is one transfer on a ring. For the data ring a message is a
+// 64-byte flit (a cache line, a chain packet, or a live-in/live-out packet);
+// for the control ring it is a single 8-byte request/response.
+type Message struct {
+	ID      uint64
+	Src     int
+	Dst     int
+	Payload any
+
+	// SentAt is the cycle the message entered the injection queue.
+	SentAt uint64
+	// DeliveredAt is filled in when the message reaches Dst.
+	DeliveredAt uint64
+}
+
+// Hops returns the minimal hop distance between message endpoints on a ring
+// with n stops.
+func Hops(src, dst, n int) int {
+	d := dst - src
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Stats aggregates ring activity.
+type Stats struct {
+	Messages     uint64
+	TotalHops    uint64
+	TotalLatency uint64
+	Delivered    uint64
+}
+
+// Ring is one bi-directional ring.
+type Ring struct {
+	name  string
+	stops int
+
+	nextID  uint64
+	flights []*flight
+	inboxes [][]*Message
+
+	// linkBusy marks links used this cycle: index = dir*stops + fromStop.
+	linkBusy []bool
+
+	Stats Stats
+}
+
+type flight struct {
+	msg *Message
+	pos int
+	dir int // +1 clockwise, -1 counter-clockwise
+}
+
+// NewRing builds a ring with the given number of stops.
+func NewRing(name string, stops int) *Ring {
+	if stops < 2 {
+		panic("interconnect: ring needs at least 2 stops")
+	}
+	return &Ring{
+		name:     name,
+		stops:    stops,
+		inboxes:  make([][]*Message, stops),
+		linkBusy: make([]bool, 2*stops),
+	}
+}
+
+// Stops returns the number of ring stops.
+func (r *Ring) Stops() int { return r.stops }
+
+// Name returns the ring's name.
+func (r *Ring) Name() string { return r.name }
+
+// Send injects a message. Same-stop messages deliver immediately (the
+// paper's 1-cycle core-to-local-slice bypass is modeled by the caller's
+// pipeline latency, not the ring).
+func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
+	r.nextID++
+	m := &Message{ID: r.nextID, Src: src, Dst: dst, Payload: payload, SentAt: now}
+	r.Stats.Messages++
+	if src == dst {
+		m.DeliveredAt = now
+		r.Stats.Delivered++
+		r.inboxes[dst] = append(r.inboxes[dst], m)
+		return m
+	}
+	dir := +1
+	fwd := (dst - src + r.stops) % r.stops
+	if fwd > r.stops-fwd {
+		dir = -1
+	}
+	r.flights = append(r.flights, &flight{msg: m, pos: src, dir: dir})
+	return m
+}
+
+// InFlight returns the number of messages still travelling.
+func (r *Ring) InFlight() int { return len(r.flights) }
+
+// Tick advances every in-flight message by at most one hop. Messages are
+// serviced oldest-first, so a congested link delays younger traffic — the
+// queueing component of on-chip latency.
+func (r *Ring) Tick(now uint64) {
+	for i := range r.linkBusy {
+		r.linkBusy[i] = false
+	}
+	keep := r.flights[:0]
+	for _, f := range r.flights {
+		link := r.linkIndex(f.pos, f.dir)
+		if r.linkBusy[link] {
+			keep = append(keep, f)
+			continue
+		}
+		r.linkBusy[link] = true
+		f.pos = (f.pos + f.dir + r.stops) % r.stops
+		r.Stats.TotalHops++
+		if f.pos == f.msg.Dst {
+			f.msg.DeliveredAt = now
+			r.Stats.TotalLatency += now - f.msg.SentAt
+			r.Stats.Delivered++
+			r.inboxes[f.pos] = append(r.inboxes[f.pos], f.msg)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	r.flights = keep
+}
+
+func (r *Ring) linkIndex(from, dir int) int {
+	if dir > 0 {
+		return from
+	}
+	return r.stops + from
+}
+
+// Deliver drains and returns the messages that have arrived at a stop.
+func (r *Ring) Deliver(stop int) []*Message {
+	msgs := r.inboxes[stop]
+	r.inboxes[stop] = nil
+	return msgs
+}
+
+// AvgLatency returns the mean delivery latency in cycles.
+func (r *Ring) AvgLatency() float64 {
+	if r.Stats.Delivered == 0 {
+		return 0
+	}
+	return float64(r.Stats.TotalLatency) / float64(r.Stats.Delivered)
+}

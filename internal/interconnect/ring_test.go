@@ -1,0 +1,188 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHops(t *testing.T) {
+	cases := []struct {
+		src, dst, n, want int
+	}{
+		{0, 0, 5, 0},
+		{0, 1, 5, 1},
+		{0, 4, 5, 1}, // wrap is shorter
+		{0, 2, 5, 2},
+		{0, 3, 5, 2}, // wrap
+		{1, 4, 8, 3},
+		{7, 0, 8, 1},
+	}
+	for _, c := range cases {
+		if got := Hops(c.src, c.dst, c.n); got != c.want {
+			t.Errorf("Hops(%d,%d,%d) = %d, want %d", c.src, c.dst, c.n, got, c.want)
+		}
+	}
+}
+
+func drainUntil(t *testing.T, r *Ring, stop int, maxCycles int) (*Message, uint64) {
+	t.Helper()
+	for cy := uint64(1); cy <= uint64(maxCycles); cy++ {
+		r.Tick(cy)
+		if ms := r.Deliver(stop); len(ms) > 0 {
+			return ms[0], cy
+		}
+	}
+	t.Fatalf("no delivery at stop %d within %d cycles", stop, maxCycles)
+	return nil, 0
+}
+
+func TestUncontendedLatencyEqualsHops(t *testing.T) {
+	r := NewRing("ctrl", 5)
+	r.Send(0, 3, "x", 0) // shortest path: 2 hops via wrap
+	m, cy := drainUntil(t, r, 3, 10)
+	if cy != 2 {
+		t.Errorf("delivered at cycle %d, want 2", cy)
+	}
+	if m.Payload != "x" || m.DeliveredAt != 2 {
+		t.Errorf("message state wrong: %+v", m)
+	}
+}
+
+func TestSameStopDeliversImmediately(t *testing.T) {
+	r := NewRing("ctrl", 4)
+	r.Send(2, 2, 99, 7)
+	ms := r.Deliver(2)
+	if len(ms) != 1 || ms[0].DeliveredAt != 7 {
+		t.Fatalf("same-stop delivery wrong: %+v", ms)
+	}
+	if r.InFlight() != 0 {
+		t.Error("nothing should be in flight")
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	r := NewRing("data", 8)
+	// Two messages from the same stop in the same direction must share the
+	// first link: second is delayed one cycle.
+	r.Send(0, 2, "a", 0)
+	r.Send(0, 2, "b", 0)
+	var got []uint64
+	for cy := uint64(1); cy <= 10 && len(got) < 2; cy++ {
+		r.Tick(cy)
+		for _, m := range r.Deliver(2) {
+			got = append(got, m.DeliveredAt)
+		}
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("delivery cycles %v, want [2 3]", got)
+	}
+}
+
+func TestOppositeDirectionsDontContend(t *testing.T) {
+	r := NewRing("data", 8)
+	r.Send(0, 1, "cw", 0)  // clockwise
+	r.Send(0, 7, "ccw", 0) // counter-clockwise
+	r.Tick(1)
+	if len(r.Deliver(1)) != 1 || len(r.Deliver(7)) != 1 {
+		t.Error("messages in opposite directions should both deliver in 1 cycle")
+	}
+}
+
+func TestOldestFirstArbitration(t *testing.T) {
+	// Both messages need link 0->1 every cycle they sit at stop 0; the
+	// first-sent message wins each arbitration, so they pipeline in send
+	// order: old at cycle 3, young one cycle behind.
+	r := NewRing("data", 6)
+	r.Send(0, 3, "old", 0)
+	r.Send(0, 3, "young", 0)
+	delivered := map[string]uint64{}
+	for cy := uint64(1); cy <= 10; cy++ {
+		r.Tick(cy)
+		for _, m := range r.Deliver(3) {
+			delivered[m.Payload.(string)] = m.DeliveredAt
+		}
+	}
+	if delivered["old"] != 3 || delivered["young"] != 4 {
+		t.Errorf("delivered old=%d young=%d, want 3 and 4", delivered["old"], delivered["young"])
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := NewRing("ctrl", 4)
+	r.Send(0, 2, nil, 0)
+	for cy := uint64(1); cy <= 5; cy++ {
+		r.Tick(cy)
+	}
+	r.Deliver(2)
+	if r.Stats.Messages != 1 || r.Stats.Delivered != 1 || r.Stats.TotalHops != 2 {
+		t.Errorf("stats wrong: %+v", r.Stats)
+	}
+	if r.AvgLatency() != 2 {
+		t.Errorf("avg latency %v, want 2", r.AvgLatency())
+	}
+}
+
+func TestAvgLatencyEmpty(t *testing.T) {
+	r := NewRing("ctrl", 4)
+	if r.AvgLatency() != 0 {
+		t.Error("empty ring should report 0 latency")
+	}
+}
+
+func TestTinyRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-stop ring")
+		}
+	}()
+	NewRing("bad", 1)
+}
+
+// Property: every message is eventually delivered, exactly once, with
+// latency >= its hop distance.
+func TestAllDeliveredProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 40 {
+			seeds = seeds[:40]
+		}
+		const stops = 9
+		r := NewRing("p", stops)
+		type sent struct{ src, dst int }
+		msgs := map[uint64]sent{}
+		for i, s := range seeds {
+			src := int(s) % stops
+			dst := int(s>>4) % stops
+			m := r.Send(src, dst, i, 0)
+			if src != dst {
+				msgs[m.ID] = sent{src, dst}
+			}
+		}
+		delivered := 0
+		for cy := uint64(1); cy <= 600; cy++ {
+			r.Tick(cy)
+			for s := 0; s < stops; s++ {
+				for _, m := range r.Deliver(s) {
+					info, ok := msgs[m.ID]
+					if ok {
+						if s != info.dst {
+							return false
+						}
+						lat := int(m.DeliveredAt - m.SentAt)
+						if lat < Hops(info.src, info.dst, stops) {
+							return false
+						}
+						delete(msgs, m.ID)
+						delivered++
+					}
+				}
+			}
+		}
+		return len(msgs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package isa defines the micro-operation (uop) instruction set used by the
+// simulator: opcode classes, architectural registers, and the functional
+// semantics of each operation.
+//
+// The set mirrors the x86-derived micro-op stream of the paper. The subset
+// permitted at the Enhanced Memory Controller (Table 1 of the paper) is
+// integer add/subtract/move/load/store plus the logical operations
+// and/or/xor/not/shift/sign-extend; floating-point and vector uops must run
+// at the core.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The trace generator and the core's
+// rename stage both use this space; physical registers are a concern of the
+// core (ROB-slot renaming) and of the EMC (its private 16-entry file).
+type Reg uint8
+
+// NumArchRegs is the size of the architectural integer register file visible
+// to traces. It is deliberately larger than x86-64's 16 GPRs so synthetic
+// traces have room for address-generation temporaries, as a real uop stream
+// would via rename.
+const NumArchRegs = 32
+
+// RegNone marks an absent operand (e.g. the second source of a MOV, or the
+// destination of a store or branch).
+const RegNone Reg = 0xFF
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+func (r Reg) String() string {
+	if r == RegNone {
+		return "-"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is a micro-operation opcode.
+type Op uint8
+
+// The micro-op opcodes. Integer and logical ops take one or two register
+// sources plus an immediate; Load computes its address as Src1+Imm; Store
+// writes the value of Src2 to Src1+Imm.
+const (
+	OpNop Op = iota
+	// Integer ALU (EMC-allowed).
+	OpAdd  // Dst = Src1 + Src2 (+Imm if Src2 == RegNone)
+	OpSub  // Dst = Src1 - Src2 (or -Imm)
+	OpMov  // Dst = Src1 (or Imm if Src1 == RegNone)
+	OpAnd  // Dst = Src1 & Src2/Imm
+	OpOr   // Dst = Src1 | Src2/Imm
+	OpXor  // Dst = Src1 ^ Src2/Imm
+	OpNot  // Dst = ^Src1
+	OpShl  // Dst = Src1 << (Src2/Imm & 63)
+	OpShr  // Dst = Src1 >> (Src2/Imm & 63), logical
+	OpSext // Dst = sign-extend low 32 bits of Src1
+	// Memory (EMC-allowed).
+	OpLoad  // Dst = mem[Src1 + Imm]
+	OpStore // mem[Src1 + Imm] = Src2
+	// Control.
+	OpBranch // conditional branch; Taken/Mispredicted carried by the uop
+	// Core-only operations (not EMC-allowed).
+	OpIMul // Dst = Src1 * Src2/Imm; integer multiply, 3-cycle
+	OpFAdd // floating point add, 4-cycle
+	OpFMul // floating point multiply, 5-cycle
+	OpFDiv // floating point divide, 12-cycle
+	OpVec  // vector/SIMD op, 2-cycle
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMov: "mov", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpNot: "not", OpShl: "shl", OpShr: "shr",
+	OpSext: "sext", OpLoad: "load", OpStore: "store", OpBranch: "br",
+	OpIMul: "imul", OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv", OpVec: "vec",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by the execution resource they need.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassFP
+	ClassVec
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU:
+		return "alu"
+	case ClassIntMul:
+		return "mul"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassFP:
+		return "fp"
+	case ClassVec:
+		return "vec"
+	}
+	return "?"
+}
+
+// Class returns the execution class of the opcode.
+func (o Op) Class() Class {
+	switch o {
+	case OpNop:
+		return ClassNop
+	case OpAdd, OpSub, OpMov, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr, OpSext:
+		return ClassIntALU
+	case OpIMul:
+		return ClassIntMul
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpBranch:
+		return ClassBranch
+	case OpFAdd, OpFMul, OpFDiv:
+		return ClassFP
+	case OpVec:
+		return ClassVec
+	}
+	return ClassNop
+}
+
+// EMCAllowed reports whether the opcode may execute at the Enhanced Memory
+// Controller (Table 1: integer add/subtract/move/load/store and logical
+// and/or/xor/not/shift/sign-extend).
+func (o Op) EMCAllowed() bool {
+	switch o {
+	case OpAdd, OpSub, OpMov, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr, OpSext,
+		OpLoad, OpStore:
+		return true
+	}
+	return false
+}
+
+// Latency returns the execution latency of the opcode in core cycles,
+// excluding memory access time for loads/stores (which is determined by the
+// cache hierarchy).
+func (o Op) Latency() int {
+	switch o.Class() {
+	case ClassIntALU, ClassBranch, ClassStore:
+		return 1
+	case ClassIntMul:
+		return 3
+	case ClassLoad:
+		return 1 // address generation; memory time added by the hierarchy
+	case ClassVec:
+		return 2
+	case ClassFP:
+		switch o {
+		case OpFAdd:
+			return 4
+		case OpFMul:
+			return 5
+		case OpFDiv:
+			return 12
+		}
+	}
+	return 1
+}
+
+// Uop is a single micro-operation in a trace. Traces are value-consistent:
+// for loads and stores, Addr always equals the value of Src1 plus Imm at the
+// time the uop executes in program order, and Value holds the datum loaded
+// (for loads) or stored (for stores). This lets the EMC execute dependence
+// chains functionally and lets tests assert that remotely computed addresses
+// match the trace.
+type Uop struct {
+	Seq   uint64 // program-order sequence number, unique per core trace
+	PC    uint64 // instruction address (used by I-cache and miss predictor)
+	Op    Op
+	Src1  Reg
+	Src2  Reg
+	Dst   Reg
+	Imm   int64
+	Addr  uint64 // virtual address for loads/stores
+	Value uint64 // loaded value (loads) / stored value (stores)
+
+	// Branch metadata. A mispredicted branch flushes younger uops when it
+	// executes; the front end stalls until then plus a redirect penalty.
+	Taken        bool
+	Mispredicted bool
+}
+
+// IsMem reports whether the uop accesses memory.
+func (u *Uop) IsMem() bool { return u.Op == OpLoad || u.Op == OpStore }
+
+// HasDst reports whether the uop writes a destination register.
+func (u *Uop) HasDst() bool { return u.Dst != RegNone }
+
+// NumSrcs returns how many register sources the uop reads.
+func (u *Uop) NumSrcs() int {
+	n := 0
+	if u.Src1 != RegNone {
+		n++
+	}
+	if u.Src2 != RegNone {
+		n++
+	}
+	return n
+}
+
+func (u *Uop) String() string {
+	switch u.Op.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("#%d %s %s=[%s+%#x] @%#x", u.Seq, u.Op, u.Dst, u.Src1, u.Imm, u.Addr)
+	case ClassStore:
+		return fmt.Sprintf("#%d %s [%s+%#x]=%s @%#x", u.Seq, u.Op, u.Src1, u.Imm, u.Src2, u.Addr)
+	case ClassBranch:
+		return fmt.Sprintf("#%d br taken=%v mispred=%v", u.Seq, u.Taken, u.Mispredicted)
+	default:
+		return fmt.Sprintf("#%d %s %s=%s,%s,%#x", u.Seq, u.Op, u.Dst, u.Src1, u.Src2, u.Imm)
+	}
+}
+
+// Exec evaluates the functional semantics of an ALU opcode given its source
+// values and immediate. Loads, stores, branches and nops are not handled
+// here: loads take their value from memory (the trace), stores produce no
+// register result. Exec panics on such opcodes; callers gate on Class.
+func Exec(op Op, src1, src2 uint64, imm int64, hasSrc2 bool) uint64 {
+	b := uint64(imm)
+	if hasSrc2 {
+		b = src2
+	}
+	switch op {
+	case OpAdd:
+		return src1 + b
+	case OpSub:
+		return src1 - b
+	case OpMov:
+		if hasSrc2 {
+			return src2
+		}
+		// MOV with a register source copies Src1; with no register source it
+		// materializes the immediate.
+		return src1
+	case OpAnd:
+		return src1 & b
+	case OpOr:
+		return src1 | b
+	case OpXor:
+		return src1 ^ b
+	case OpNot:
+		return ^src1
+	case OpShl:
+		return src1 << (b & 63)
+	case OpShr:
+		return src1 >> (b & 63)
+	case OpSext:
+		return uint64(int64(int32(uint32(src1))))
+	case OpIMul:
+		return src1 * b
+	case OpFAdd, OpFMul, OpFDiv, OpVec:
+		// Floating point values are opaque to the integer-centric model; a
+		// mixing function keeps dataflow observable without modeling IEEE754.
+		return mix(src1, b)
+	}
+	panic(fmt.Sprintf("isa.Exec: opcode %v has no ALU semantics", op))
+}
+
+// mix is a cheap value mixer used for FP/vector results so that dataflow
+// through those ops remains value-observable in tests.
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// EvalUop computes the destination value of u given resolved source values.
+// For loads the result is the trace-recorded Value (memory is the trace's
+// authority); for ALU ops it is Exec. Branches and stores return 0.
+func EvalUop(u *Uop, src1, src2 uint64) uint64 {
+	switch u.Op.Class() {
+	case ClassLoad:
+		return u.Value
+	case ClassStore, ClassBranch, ClassNop:
+		return 0
+	default:
+		// MOV-immediate has Src1 == RegNone: materialize Imm.
+		if u.Op == OpMov && u.Src1 == RegNone {
+			return uint64(u.Imm)
+		}
+		return Exec(u.Op, src1, src2, u.Imm, u.Src2 != RegNone)
+	}
+}
+
+// AddrOf computes the effective address of a memory uop from its base
+// register value. Value-consistent traces guarantee this equals u.Addr.
+func AddrOf(u *Uop, base uint64) uint64 { return base + uint64(u.Imm) }

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"testing"
+)
+
+// refCache is a trivially-correct reference model: a map plus an LRU list.
+type refCache struct {
+	ways  int
+	sets  int
+	lines map[uint64]uint64 // lineAddr -> lru stamp
+	tick  uint64
+}
+
+func newRef(sizeBytes, ways int) *refCache {
+	return &refCache{ways: ways, sets: sizeBytes / LineSize / ways,
+		lines: map[uint64]uint64{}}
+}
+
+func (r *refCache) setOf(line uint64) uint64 { return line % uint64(r.sets) }
+
+func (r *refCache) access(line uint64) bool {
+	r.tick++
+	if _, ok := r.lines[line]; ok {
+		r.lines[line] = r.tick
+		return true
+	}
+	return false
+}
+
+func (r *refCache) insert(line uint64) {
+	r.tick++
+	if _, ok := r.lines[line]; ok {
+		r.lines[line] = r.tick
+		return
+	}
+	// Evict LRU within the set if full.
+	var count int
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for l, stamp := range r.lines {
+		if r.setOf(l) == r.setOf(line) {
+			count++
+			if stamp < oldest {
+				oldest = stamp
+				victim = l
+			}
+		}
+	}
+	if count >= r.ways {
+		delete(r.lines, victim)
+	}
+	r.lines[line] = r.tick
+}
+
+// TestDifferentialAgainstReference drives the production cache and the
+// reference model with an identical random demand stream and requires
+// hit/miss agreement on every access.
+func TestDifferentialAgainstReference(t *testing.T) {
+	const size, ways = 4096, 4
+	c := New(Config{Name: "dut", SizeBytes: size, Ways: ways})
+	r := newRef(size, ways)
+
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// 32 sets * 4 ways = 64 lines; address pool of 256 lines gives a
+		// realistic hit/miss mix.
+		addr := (x % 256) * LineSize
+		wantHit := r.access(LineAddr(addr))
+		gotHit := c.Access(addr, false)
+		if gotHit != wantHit {
+			t.Fatalf("access %d line %#x: dut=%v ref=%v", i, LineAddr(addr), gotHit, wantHit)
+		}
+		if !gotHit {
+			c.Insert(addr, false)
+			r.insert(LineAddr(addr))
+		}
+	}
+	if c.Stats.Hits == 0 || c.Stats.Misses == 0 {
+		t.Error("degenerate stream: no hits or no misses")
+	}
+}

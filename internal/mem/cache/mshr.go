@@ -1,0 +1,67 @@
+package cache
+
+// MSHR tracks one outstanding miss to a cache line, merging all requests for
+// the same line while it is in flight.
+type MSHR struct {
+	LineAddr uint64
+	// Waiters are opaque tokens (e.g. ROB indices, prefetch markers) the
+	// owner wakes when the fill arrives.
+	Waiters []uint64
+	// Issued marks that the downstream request has actually been sent.
+	Issued bool
+	// Prefetch marks an entry allocated by a prefetcher (no demand waiter).
+	Prefetch bool
+	// Born is the cycle the entry was allocated (latency accounting).
+	Born uint64
+}
+
+// MSHRFile is a bounded file of MSHRs keyed by line address.
+type MSHRFile struct {
+	max     int
+	entries map[uint64]*MSHR
+
+	// AllocFails counts allocation attempts rejected because the file was
+	// full — back-pressure the owner must model.
+	AllocFails uint64
+	Merges     uint64
+}
+
+// NewMSHRFile returns a file with capacity max.
+func NewMSHRFile(max int) *MSHRFile {
+	return &MSHRFile{max: max, entries: make(map[uint64]*MSHR, max)}
+}
+
+// Lookup returns the in-flight entry for a line, or nil.
+func (f *MSHRFile) Lookup(lineAddr uint64) *MSHR { return f.entries[lineAddr] }
+
+// Full reports whether a new allocation would fail.
+func (f *MSHRFile) Full() bool { return len(f.entries) >= f.max }
+
+// Len returns the number of outstanding entries.
+func (f *MSHRFile) Len() int { return len(f.entries) }
+
+// Allocate returns the entry for lineAddr, creating it if needed. merged is
+// true if an existing entry was reused; ok is false if the file is full and
+// no entry exists (the access must retry later).
+func (f *MSHRFile) Allocate(lineAddr uint64, now uint64) (m *MSHR, merged, ok bool) {
+	if m := f.entries[lineAddr]; m != nil {
+		f.Merges++
+		return m, true, true
+	}
+	if len(f.entries) >= f.max {
+		f.AllocFails++
+		return nil, false, false
+	}
+	m = &MSHR{LineAddr: lineAddr, Born: now}
+	f.entries[lineAddr] = m
+	return m, false, true
+}
+
+// Complete removes and returns the entry for a filled line, or nil if none.
+func (f *MSHRFile) Complete(lineAddr uint64) *MSHR {
+	m := f.entries[lineAddr]
+	if m != nil {
+		delete(f.entries, lineAddr)
+	}
+	return m
+}

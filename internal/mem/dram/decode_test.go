@@ -1,0 +1,48 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the address decode maps every line into valid geometry bounds,
+// is deterministic, and distinct lines that share channel+rank+bank+row
+// must differ only in column bits (i.e. lie within one row's span).
+func TestDecodeSoundness(t *testing.T) {
+	geo := QuadCoreGeometry()
+	c := NewController(geo, DDR3(), SchedFCFS, 4)
+	linesPerRow := uint64(geo.RowBytes / geo.LineSize)
+	f := func(line uint64) bool {
+		line &= (1 << 40) - 1
+		r := &Request{LineAddr: line}
+		c.decode(r)
+		if r.channel < 0 || r.channel >= geo.Channels {
+			return false
+		}
+		if r.bank < 0 || r.bank >= geo.Banks {
+			return false
+		}
+		if r.rank < 0 || r.rank >= geo.Ranks {
+			return false
+		}
+		// Re-decode must agree.
+		r2 := &Request{LineAddr: line}
+		c.decode(r2)
+		return r2.channel == r.channel && r2.bank == r.bank &&
+			r2.rank == r.rank && r2.row == r.row
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Consecutive same-channel lines within one row decode to the same row.
+	base := uint64(123456) * linesPerRow * uint64(geo.Channels)
+	r0 := &Request{LineAddr: base}
+	c.decode(r0)
+	for i := uint64(1); i < linesPerRow; i++ {
+		r := &Request{LineAddr: base + i*uint64(geo.Channels)}
+		c.decode(r)
+		if r.row != r0.row || r.bank != r0.bank || r.channel != r0.channel {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, r, r0)
+		}
+	}
+}

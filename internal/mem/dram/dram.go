@@ -1,0 +1,533 @@
+// Package dram models the DDR3 main-memory system of Table 1: channels,
+// ranks, and banks with open-row state machines and realistic command
+// timings, a shared memory-controller queue, and a batch scheduler in the
+// style of parallelism-aware batch scheduling (PAR-BS), with FR-FCFS and
+// FCFS available for ablation.
+//
+// All timings are expressed in core cycles at 3.2 GHz. DDR3-1600 with
+// CAS = 13.75 ns (Table 1) gives tCAS = tRCD = tRP = 44 core cycles and an
+// 8-beat burst on the 800 MHz bus of 16 core cycles.
+package dram
+
+import "fmt"
+
+// Timing holds DRAM command timings in core cycles.
+type Timing struct {
+	TRCD   int // row activate to column command
+	TCAS   int // column command to first data
+	TRP    int // precharge
+	TRAS   int // activate to precharge minimum
+	TBurst int // data-bus occupancy of one 64-byte transfer
+	TWR    int // write recovery
+	// Refresh: every TREFI cycles each rank performs a refresh taking TRFC
+	// cycles, during which its banks accept no commands and open rows are
+	// closed. TREFI = 0 disables refresh.
+	TREFI int
+	TRFC  int
+	// Activation constraints: TRRD separates activates to the same rank;
+	// TFAW bounds any four activates to a rank within a sliding window.
+	// Zero disables either constraint.
+	TRRD int
+	TFAW int
+}
+
+// DDR3 returns the Table-1 DDR3 timing set at a 3.2 GHz core clock
+// (tREFI = 7.8 us, tRFC = 160 ns for a 2 Gb device).
+func DDR3() Timing {
+	return Timing{TRCD: 44, TCAS: 44, TRP: 44, TRAS: 112, TBurst: 16, TWR: 48,
+		TREFI: 24960, TRFC: 512, TRRD: 20, TFAW: 96}
+}
+
+// Geometry describes the memory organization reachable from one controller.
+type Geometry struct {
+	Channels   int
+	Ranks      int // per channel
+	Banks      int // per rank
+	RowBytes   int // row-buffer size (Table 1: 8 KB)
+	LineSize   int
+	QueueSize  int // memory-controller read-queue capacity
+	WriteQCap  int // write-queue capacity
+	WriteDrain int // start draining writes above this occupancy
+}
+
+// QuadCoreGeometry is the paper's 4-core configuration: 2 channels, 1 rank
+// of 8 banks each, 8 KB rows, a 128-entry memory queue.
+func QuadCoreGeometry() Geometry {
+	return Geometry{Channels: 2, Ranks: 1, Banks: 8, RowBytes: 8192,
+		LineSize: 64, QueueSize: 128, WriteQCap: 64, WriteDrain: 32}
+}
+
+// EightCoreGeometry is the 8-core configuration: 4 channels, 256-entry queue.
+func EightCoreGeometry() Geometry {
+	return Geometry{Channels: 4, Ranks: 1, Banks: 8, RowBytes: 8192,
+		LineSize: 64, QueueSize: 256, WriteQCap: 128, WriteDrain: 64}
+}
+
+// SchedPolicy selects the memory scheduler.
+type SchedPolicy uint8
+
+const (
+	// SchedBatch is parallelism-aware batch scheduling (Table 1 baseline).
+	SchedBatch SchedPolicy = iota
+	// SchedFRFCFS is first-ready, first-come-first-served.
+	SchedFRFCFS
+	// SchedFCFS is strict arrival order (ablation).
+	SchedFCFS
+)
+
+func (s SchedPolicy) String() string {
+	switch s {
+	case SchedBatch:
+		return "batch"
+	case SchedFRFCFS:
+		return "frfcfs"
+	case SchedFCFS:
+		return "fcfs"
+	}
+	return "?"
+}
+
+// Request is one memory transaction (a 64-byte line read or write).
+type Request struct {
+	ID       uint64
+	LineAddr uint64 // physical line address
+	Write    bool
+	CoreID   int  // requesting core (fairness/batching); -1 for writebacks
+	FromEMC  bool // issued by the enhanced memory controller
+	Prefetch bool
+	Payload  any
+
+	EnqueuedAt uint64
+	IssuedAt   uint64 // first DRAM command
+	DoneAt     uint64 // last data beat on the bus
+
+	// RowHit/RowConflict record how the request found its bank.
+	RowHit      bool
+	RowConflict bool
+
+	marked bool // member of the current scheduling batch
+
+	channel, rank, bank int
+	row                 uint64
+}
+
+// Channel returns the decoded channel index (valid after enqueue).
+func (r *Request) Channel() int { return r.channel }
+
+type bank struct {
+	openRow    int64
+	readyAt    uint64
+	activateAt uint64
+}
+
+type channel struct {
+	banks     []bank // ranks*banks flattened
+	busFreeAt uint64
+	readQ     []*Request
+	writeQ    []*Request
+	draining  bool
+	// nextRefresh holds the per-rank next refresh deadline.
+	nextRefresh []uint64
+	// Activation-rate state per rank: the last activate (tRRD), a ring of
+	// the last four activate times (tFAW), and the total count (validity).
+	lastAct  []uint64
+	actRing  [][4]uint64
+	actPos   []int
+	actCount []uint64
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowConflicts uint64
+	RowEmpty     uint64
+	Activations  uint64
+	Precharges   uint64
+	Refreshes    uint64
+	BusBusy      uint64 // cycles of data-bus occupancy (all channels)
+	QueueFull    uint64 // rejected enqueues
+
+	// Latency accounting for reads.
+	TotalReadLatency uint64 // enqueue -> data done
+	TotalQueueDelay  uint64 // enqueue -> first command
+}
+
+// Controller is one memory controller: the request queues, the scheduler,
+// and the DRAM devices behind it.
+type Controller struct {
+	geo    Geometry
+	timing Timing
+	policy SchedPolicy
+
+	channels []channel
+	nextID   uint64
+	inFlight []*Request // issued, waiting for DoneAt
+
+	// Batch-scheduler state.
+	batchLive int   // marked requests not yet issued
+	coreRank  []int // lower = higher priority within batch
+
+	Stats Stats
+}
+
+// NewController builds a controller with the given geometry, timings,
+// scheduling policy, and the number of cores (for batch ranking).
+func NewController(geo Geometry, t Timing, policy SchedPolicy, cores int) *Controller {
+	if geo.Channels <= 0 || geo.Banks <= 0 || geo.Ranks <= 0 {
+		panic("dram: bad geometry")
+	}
+	c := &Controller{geo: geo, timing: t, policy: policy, coreRank: make([]int, cores+1)}
+	c.channels = make([]channel, geo.Channels)
+	for i := range c.channels {
+		c.channels[i].banks = make([]bank, geo.Ranks*geo.Banks)
+		for b := range c.channels[i].banks {
+			c.channels[i].banks[b].openRow = -1
+		}
+		c.channels[i].lastAct = make([]uint64, geo.Ranks)
+		c.channels[i].actRing = make([][4]uint64, geo.Ranks)
+		c.channels[i].actPos = make([]int, geo.Ranks)
+		c.channels[i].actCount = make([]uint64, geo.Ranks)
+		c.channels[i].nextRefresh = make([]uint64, geo.Ranks)
+		for r := range c.channels[i].nextRefresh {
+			// Stagger ranks so they do not refresh simultaneously.
+			c.channels[i].nextRefresh[r] = uint64(t.TREFI) * uint64(r+1) / uint64(geo.Ranks+1)
+			if t.TREFI == 0 {
+				c.channels[i].nextRefresh[r] = ^uint64(0)
+			}
+		}
+	}
+	return c
+}
+
+// Geometry returns the controller's geometry.
+func (c *Controller) Geometry() Geometry { return c.geo }
+
+// decode maps a physical line address onto (channel, rank, bank, row).
+// Channels interleave at line granularity; within a channel, consecutive
+// lines fill a row before moving to the next bank, so streams enjoy
+// row-buffer locality while banks still spread across the address space.
+func (c *Controller) decode(r *Request) {
+	la := r.LineAddr
+	r.channel = int(la % uint64(c.geo.Channels))
+	la /= uint64(c.geo.Channels)
+	linesPerRow := uint64(c.geo.RowBytes / c.geo.LineSize)
+	la /= linesPerRow // column bits
+	r.bank = int(la % uint64(c.geo.Banks))
+	la /= uint64(c.geo.Banks)
+	r.rank = int(la % uint64(c.geo.Ranks))
+	la /= uint64(c.geo.Ranks)
+	r.row = la
+}
+
+// QueueOccupancy returns the total queued (not yet issued) read requests.
+func (c *Controller) QueueOccupancy() int {
+	n := 0
+	for i := range c.channels {
+		n += len(c.channels[i].readQ)
+	}
+	return n
+}
+
+// Enqueue admits a request to its channel queue. It returns false when the
+// queue is full; the caller must retry (this is the back-pressure that makes
+// MC queueing part of on-chip latency).
+func (c *Controller) Enqueue(r *Request, now uint64) bool {
+	c.nextID++
+	r.ID = c.nextID
+	r.EnqueuedAt = now
+	c.decode(r)
+	ch := &c.channels[r.channel]
+	if r.Write {
+		if len(ch.writeQ) >= c.geo.WriteQCap {
+			c.Stats.QueueFull++
+			return false
+		}
+		ch.writeQ = append(ch.writeQ, r)
+		return true
+	}
+	if c.QueueOccupancy() >= c.geo.QueueSize {
+		c.Stats.QueueFull++
+		return false
+	}
+	ch.readQ = append(ch.readQ, r)
+	return true
+}
+
+// Tick advances the controller one cycle; completed reads are returned so
+// the owner can route fills.
+func (c *Controller) Tick(now uint64) []*Request {
+	// Batch formation: when the current batch is exhausted, mark a new one.
+	if c.policy == SchedBatch && c.batchLive == 0 {
+		c.formBatch()
+	}
+	for i := range c.channels {
+		c.refresh(&c.channels[i], now)
+		c.issueOn(&c.channels[i], now)
+	}
+	// Collect completions.
+	var done []*Request
+	keep := c.inFlight[:0]
+	for _, r := range c.inFlight {
+		if r.DoneAt <= now {
+			if !r.Write {
+				done = append(done, r)
+			}
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	c.inFlight = keep
+	return done
+}
+
+// formBatch marks up to 5 oldest requests per (core, bank) across all
+// channels, then ranks cores by their marked-request count (fewest first —
+// shortest job first, the PAR-BS heuristic).
+func (c *Controller) formBatch() {
+	const perCoreBank = 5
+	counts := make(map[int]int)
+	type key struct{ core, ch, bank int }
+	quota := make(map[key]int)
+	any := false
+	for chI := range c.channels {
+		for _, r := range c.channels[chI].readQ {
+			k := key{r.CoreID, chI, r.bank}
+			if quota[k] < perCoreBank {
+				quota[k]++
+				r.marked = true
+				counts[r.CoreID]++
+				c.batchLive++
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	// Rank: fewer marked requests -> higher priority (lower rank value).
+	for core := range c.coreRank {
+		c.coreRank[core] = 1 << 30
+	}
+	type cc struct{ core, n int }
+	var order []cc
+	for core, n := range counts {
+		if core >= 0 && core < len(c.coreRank) {
+			order = append(order, cc{core, n})
+		}
+	}
+	// Insertion sort by (n, core) for determinism.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && (order[j].n < order[j-1].n ||
+			(order[j].n == order[j-1].n && order[j].core < order[j-1].core)); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for rank, o := range order {
+		c.coreRank[o.core] = rank
+	}
+}
+
+// better reports whether a should issue before b under the active policy.
+func (c *Controller) better(a, b *Request, ch *channel) bool {
+	if c.policy == SchedFCFS {
+		return a.ID < b.ID
+	}
+	aHit := c.isRowHit(ch, a)
+	bHit := c.isRowHit(ch, b)
+	if c.policy == SchedBatch {
+		if a.marked != b.marked {
+			return a.marked
+		}
+		if a.marked && b.marked {
+			ra, rb := c.rankOf(a.CoreID), c.rankOf(b.CoreID)
+			if ra != rb {
+				return ra < rb
+			}
+		}
+	}
+	if aHit != bHit {
+		return aHit
+	}
+	return a.ID < b.ID
+}
+
+func (c *Controller) rankOf(core int) int {
+	if core < 0 || core >= len(c.coreRank) {
+		return 1 << 29 // writebacks and unknown sources rank last
+	}
+	return c.coreRank[core]
+}
+
+func (c *Controller) isRowHit(ch *channel, r *Request) bool {
+	b := &ch.banks[r.rank*c.geo.Banks+r.bank]
+	return b.openRow == int64(r.row)
+}
+
+// refresh performs due per-rank refreshes: every bank of the rank becomes
+// unavailable for TRFC cycles and its open row is closed.
+func (c *Controller) refresh(ch *channel, now uint64) {
+	t := &c.timing
+	if t.TREFI == 0 {
+		return
+	}
+	for rank := range ch.nextRefresh {
+		if now < ch.nextRefresh[rank] {
+			continue
+		}
+		ch.nextRefresh[rank] += uint64(t.TREFI)
+		c.Stats.Refreshes++
+		for b := 0; b < c.geo.Banks; b++ {
+			bk := &ch.banks[rank*c.geo.Banks+b]
+			bk.openRow = -1
+			end := now + uint64(t.TRFC)
+			if bk.readyAt < end {
+				bk.readyAt = end
+			}
+		}
+	}
+}
+
+// issueOn starts at most one request on a channel this cycle.
+func (c *Controller) issueOn(ch *channel, now uint64) {
+	// Write-drain policy: serve reads unless the write queue is pressing or
+	// there are no reads.
+	useWrites := false
+	if len(ch.writeQ) > 0 && (len(ch.readQ) == 0 || len(ch.writeQ) >= c.geo.WriteDrain || ch.draining) {
+		useWrites = true
+		ch.draining = len(ch.writeQ) > c.geo.WriteDrain/2
+	}
+	q := ch.readQ
+	if useWrites {
+		q = ch.writeQ
+	}
+	if len(q) == 0 {
+		return
+	}
+	// Pick the best issuable request.
+	bestIdx := -1
+	for i, r := range q {
+		b := &ch.banks[r.rank*c.geo.Banks+r.bank]
+		if b.readyAt > now {
+			continue
+		}
+		if bestIdx < 0 || c.better(r, q[bestIdx], ch) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return
+	}
+	r := q[bestIdx]
+	if useWrites {
+		ch.writeQ = append(q[:bestIdx], q[bestIdx+1:]...)
+	} else {
+		ch.readQ = append(q[:bestIdx], q[bestIdx+1:]...)
+	}
+	c.start(ch, r, now)
+}
+
+// start runs the bank state machine for a request and computes its timing.
+func (c *Controller) start(ch *channel, r *Request, now uint64) {
+	t := &c.timing
+	b := &ch.banks[r.rank*c.geo.Banks+r.bank]
+	r.IssuedAt = now
+	var casStart uint64
+	switch {
+	case b.openRow == int64(r.row):
+		r.RowHit = true
+		c.Stats.RowHits++
+		casStart = maxU(now, b.readyAt)
+	case b.openRow < 0:
+		c.Stats.RowEmpty++
+		actStart := c.activate(ch, r.rank, maxU(now, b.readyAt))
+		casStart = actStart + uint64(t.TRCD)
+		b.activateAt = actStart
+		b.openRow = int64(r.row)
+	default:
+		r.RowConflict = true
+		c.Stats.RowConflicts++
+		preStart := maxU(maxU(now, b.readyAt), b.activateAt+uint64(t.TRAS))
+		actStart := c.activate(ch, r.rank, preStart+uint64(t.TRP))
+		casStart = actStart + uint64(t.TRCD)
+		b.activateAt = actStart
+		b.openRow = int64(r.row)
+		c.Stats.Precharges++
+	}
+	dataAt := casStart + uint64(t.TCAS)
+	if ch.busFreeAt > dataAt {
+		dataAt = ch.busFreeAt
+	}
+	ch.busFreeAt = dataAt + uint64(t.TBurst)
+	c.Stats.BusBusy += uint64(t.TBurst)
+	r.DoneAt = dataAt + uint64(t.TBurst)
+	b.readyAt = casStart + uint64(t.TBurst)
+	if r.Write {
+		b.readyAt += uint64(t.TWR)
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+		c.Stats.TotalReadLatency += r.DoneAt - r.EnqueuedAt
+		c.Stats.TotalQueueDelay += r.IssuedAt - r.EnqueuedAt
+	}
+	if r.marked {
+		c.batchLive--
+	}
+	c.inFlight = append(c.inFlight, r)
+}
+
+// activate returns the earliest legal activate time at or after earliest,
+// honoring tRRD (activate-to-activate, same rank) and tFAW (four-activate
+// window), and records the activation.
+func (c *Controller) activate(ch *channel, rank int, earliest uint64) uint64 {
+	t := &c.timing
+	at := earliest
+	n := ch.actCount[rank]
+	if t.TRRD > 0 && n > 0 && ch.lastAct[rank]+uint64(t.TRRD) > at {
+		at = ch.lastAct[rank] + uint64(t.TRRD)
+	}
+	if t.TFAW > 0 && n >= 4 {
+		// The activate 4 activations ago bounds this one.
+		oldest := ch.actRing[rank][ch.actPos[rank]]
+		if oldest+uint64(t.TFAW) > at {
+			at = oldest + uint64(t.TFAW)
+		}
+	}
+	ch.actCount[rank]++
+	ch.lastAct[rank] = at
+	ch.actRing[rank][ch.actPos[rank]] = at
+	ch.actPos[rank] = (ch.actPos[rank] + 1) % 4
+	c.Stats.Activations++
+	return at
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RowConflictRate returns conflicts / (hits+conflicts+empty) for reads+writes.
+func (s *Stats) RowConflictRate() float64 {
+	tot := s.RowHits + s.RowConflicts + s.RowEmpty
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.RowConflicts) / float64(tot)
+}
+
+// AvgReadLatency returns the mean enqueue-to-data latency of reads.
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.Reads)
+}
+
+// String summarizes the stats.
+func (s *Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d rowHit=%d rowConf=%d rowEmpty=%d avgReadLat=%.1f",
+		s.Reads, s.Writes, s.RowHits, s.RowConflicts, s.RowEmpty, s.AvgReadLatency())
+}

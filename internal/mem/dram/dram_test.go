@@ -1,0 +1,417 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newQuad(policy SchedPolicy) *Controller {
+	return NewController(QuadCoreGeometry(), DDR3(), policy, 4)
+}
+
+// clocks keeps a monotone cycle counter per controller so successive run()
+// calls never move time backwards.
+var clocks = map[*Controller]*uint64{}
+
+func clockOf(c *Controller) *uint64 {
+	cy, ok := clocks[c]
+	if !ok {
+		cy = new(uint64)
+		clocks[c] = cy
+	}
+	return cy
+}
+
+// run advances the controller until n more reads complete or maxCycles pass.
+func run(t *testing.T, c *Controller, n int, maxCycles uint64) []*Request {
+	t.Helper()
+	cy := clockOf(c)
+	var done []*Request
+	for i := uint64(0); i < maxCycles && len(done) < n; i++ {
+		done = append(done, c.Tick(*cy)...)
+		*cy++
+	}
+	if len(done) < n {
+		t.Fatalf("only %d of %d reads completed", len(done), n)
+	}
+	return done
+}
+
+// enq enqueues at the controller's current clock.
+func enq(t *testing.T, c *Controller, r *Request) {
+	t.Helper()
+	if !c.Enqueue(r, *clockOf(c)) {
+		t.Fatal("enqueue failed")
+	}
+}
+
+func TestColdReadLatency(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	r := &Request{LineAddr: 0x1000, CoreID: 0}
+	if !c.Enqueue(r, 0) {
+		t.Fatal("enqueue failed")
+	}
+	done := run(t, c, 1, 1000)
+	ti := DDR3()
+	// Closed bank: tRCD + tCAS + tBurst.
+	want := uint64(ti.TRCD + ti.TCAS + ti.TBurst)
+	if done[0].DoneAt != want {
+		t.Errorf("cold read done at %d, want %d", done[0].DoneAt, want)
+	}
+	if done[0].RowHit || done[0].RowConflict {
+		t.Error("cold read should be a row-empty access")
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	ti := DDR3()
+	// Same bank, same row -> hit.
+	c := newQuad(SchedFRFCFS)
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	run(t, c, 1, 1000)
+	enq(t, c, &Request{LineAddr: 2, CoreID: 0}) // same channel (even), same row
+	d := run(t, c, 1, 2000)
+	hitLat := d[0].DoneAt - d[0].EnqueuedAt
+	if !d[0].RowHit {
+		t.Fatalf("expected row hit, got %+v", d[0])
+	}
+	if hitLat != uint64(ti.TCAS+ti.TBurst) {
+		t.Errorf("row-hit latency %d, want %d", hitLat, ti.TCAS+ti.TBurst)
+	}
+
+	// Same bank, different row -> conflict.
+	c2 := newQuad(SchedFRFCFS)
+	c2.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	run(t, c2, 1, 1000)
+	// Row stride within one channel: linesPerRow*banks*channels lines.
+	geo := c2.Geometry()
+	rowStride := uint64(geo.RowBytes/geo.LineSize) * uint64(geo.Banks) * uint64(geo.Channels)
+	enq(t, c2, &Request{LineAddr: rowStride, CoreID: 0})
+	d2 := run(t, c2, 1, 3000)
+	if !d2[0].RowConflict {
+		t.Fatalf("expected row conflict, got %+v", d2[0])
+	}
+	confLat := d2[0].DoneAt - d2[0].EnqueuedAt
+	if confLat <= hitLat {
+		t.Errorf("conflict latency %d should exceed hit latency %d", confLat, hitLat)
+	}
+}
+
+func TestChannelsDecodeInterleaved(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	r0 := &Request{LineAddr: 0}
+	r1 := &Request{LineAddr: 1}
+	c.Enqueue(r0, 0)
+	c.Enqueue(r1, 0)
+	if r0.Channel() == r1.Channel() {
+		t.Error("adjacent lines should interleave across channels")
+	}
+}
+
+func TestBusSerializesSameChannel(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	// Two row-hitting reads to the same channel: second waits for the bus.
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	c.Enqueue(&Request{LineAddr: 2, CoreID: 0}, 0)
+	done := run(t, c, 2, 2000)
+	if done[1].DoneAt-done[0].DoneAt < uint64(DDR3().TBurst) {
+		t.Errorf("bursts overlap on one channel: %d then %d", done[0].DoneAt, done[1].DoneAt)
+	}
+}
+
+func TestParallelChannelsOverlap(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0) // channel 0
+	c.Enqueue(&Request{LineAddr: 1, CoreID: 0}, 0) // channel 1
+	done := run(t, c, 2, 2000)
+	if done[0].DoneAt != done[1].DoneAt {
+		t.Errorf("independent channels should complete together: %d vs %d",
+			done[0].DoneAt, done[1].DoneAt)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	geo := QuadCoreGeometry()
+	c := NewController(geo, DDR3(), SchedFRFCFS, 4)
+	admitted := 0
+	for i := 0; i < geo.QueueSize+10; i++ {
+		if c.Enqueue(&Request{LineAddr: uint64(i * 7), CoreID: 0}, 0) {
+			admitted++
+		}
+	}
+	if admitted != geo.QueueSize {
+		t.Errorf("admitted %d, want %d", admitted, geo.QueueSize)
+	}
+	if c.Stats.QueueFull != 10 {
+		t.Errorf("queueFull = %d, want 10", c.Stats.QueueFull)
+	}
+}
+
+func TestWritesComplete(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	for i := 0; i < 8; i++ {
+		if !c.Enqueue(&Request{LineAddr: uint64(i), Write: true, CoreID: -1}, 0) {
+			t.Fatal("write enqueue failed")
+		}
+	}
+	for cy := uint64(0); cy < 5000; cy++ {
+		c.Tick(cy)
+	}
+	if c.Stats.Writes != 8 {
+		t.Errorf("writes completed = %d, want 8", c.Stats.Writes)
+	}
+}
+
+func TestReadsPrioritizedOverWrites(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	// A few writes queued but below the drain threshold, plus one read: the
+	// read must issue first.
+	for i := 0; i < 4; i++ {
+		c.Enqueue(&Request{LineAddr: uint64(i * 2), Write: true, CoreID: -1}, 0)
+	}
+	r := &Request{LineAddr: 0x400, CoreID: 1}
+	c.Enqueue(r, 0)
+	done := run(t, c, 1, 2000)
+	if done[0] != r {
+		t.Fatal("read should complete")
+	}
+	if r.IssuedAt != 0 {
+		t.Errorf("read issued at %d, want 0 (before writes)", r.IssuedAt)
+	}
+}
+
+func TestBatchSchedulingFairness(t *testing.T) {
+	// Core 1 has one request buried behind many core-0 requests to the same
+	// bank. Batch scheduling ranks core 1 (fewest marked) first, so its
+	// request must not wait for all of core 0's.
+	cBatch := newQuad(SchedBatch)
+	cFCFS := newQuad(SchedFCFS)
+	for _, c := range []*Controller{cBatch, cFCFS} {
+		for i := 0; i < 10; i++ {
+			c.Enqueue(&Request{LineAddr: uint64(i * 4), CoreID: 0}, 0)
+		}
+		c.Enqueue(&Request{LineAddr: 0x10000, CoreID: 1}, 0)
+	}
+	finish := func(c *Controller) uint64 {
+		for cy := uint64(0); cy < 20000; cy++ {
+			for _, d := range c.Tick(cy) {
+				if d.CoreID == 1 {
+					return d.DoneAt
+				}
+			}
+		}
+		t.Fatal("core 1 request never completed")
+		return 0
+	}
+	if fb, ff := finish(cBatch), finish(cFCFS); fb >= ff {
+		t.Errorf("batch scheduling should serve core 1 earlier: batch=%d fcfs=%d", fb, ff)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	// Open a row on channel 0/bank 0.
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	run(t, c, 1, 1000)
+	// Now queue a conflict (older) and a hit (younger) for the same bank.
+	geo := c.Geometry()
+	rowStride := uint64(geo.RowBytes/geo.LineSize) * uint64(geo.Banks) * uint64(geo.Channels)
+	conflict := &Request{LineAddr: rowStride, CoreID: 0}
+	hit := &Request{LineAddr: 4, CoreID: 0}
+	enq(t, c, conflict)
+	enq(t, c, hit)
+	done := run(t, c, 2, 5000)
+	if done[0] != hit {
+		t.Error("FR-FCFS should issue the row hit first")
+	}
+	if !done[0].RowHit || !done[1].RowConflict {
+		t.Errorf("expected hit then conflict, got %+v then %+v", done[0], done[1])
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := newQuad(SchedFRFCFS)
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	c.Enqueue(&Request{LineAddr: 2, CoreID: 0}, 0)
+	run(t, c, 2, 2000)
+	if c.Stats.Reads != 2 {
+		t.Errorf("reads = %d, want 2", c.Stats.Reads)
+	}
+	if c.Stats.RowHits != 1 || c.Stats.RowEmpty != 1 {
+		t.Errorf("row stats wrong: %+v", c.Stats)
+	}
+	if c.Stats.AvgReadLatency() <= 0 {
+		t.Error("avg read latency should be positive")
+	}
+	if c.Stats.RowConflictRate() != 0 {
+		t.Error("no conflicts expected")
+	}
+	if c.Stats.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+// Property: every admitted read eventually completes exactly once, with
+// monotone non-decreasing DoneAt >= EnqueuedAt + minimum service time.
+func TestAllReadsCompleteProperty(t *testing.T) {
+	ti := DDR3()
+	minService := uint64(ti.TCAS + ti.TBurst)
+	f := func(addrs []uint16) bool {
+		if len(addrs) > 60 {
+			addrs = addrs[:60]
+		}
+		c := newQuad(SchedBatch)
+		want := 0
+		for i, a := range addrs {
+			if c.Enqueue(&Request{LineAddr: uint64(a), CoreID: i % 4}, 0) {
+				want++
+			}
+		}
+		got := 0
+		for cy := uint64(0); cy < 100000 && got < want; cy++ {
+			for _, d := range c.Tick(cy) {
+				if d.DoneAt < d.EnqueuedAt+minService {
+					return false
+				}
+				got++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometries(t *testing.T) {
+	q := QuadCoreGeometry()
+	e := EightCoreGeometry()
+	if q.Channels != 2 || q.QueueSize != 128 {
+		t.Errorf("quad geometry wrong: %+v", q)
+	}
+	if e.Channels != 4 || e.QueueSize != 256 {
+		t.Errorf("eight geometry wrong: %+v", e)
+	}
+	for _, p := range []SchedPolicy{SchedBatch, SchedFRFCFS, SchedFCFS} {
+		if p.String() == "?" {
+			t.Errorf("policy %d has no name", p)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewController(Geometry{}, DDR3(), SchedBatch, 4)
+}
+
+func TestRefreshBlocksBanksAndClosesRows(t *testing.T) {
+	ti := DDR3()
+	ti.TREFI = 1000
+	ti.TRFC = 200
+	c := NewController(QuadCoreGeometry(), ti, SchedFRFCFS, 4)
+	// Open a row well before the refresh window.
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	for cy := uint64(0); cy < 400; cy++ {
+		c.Tick(cy)
+	}
+	// A same-row request issued right after the refresh deadline must not be
+	// a row hit (refresh closed the row) and must wait out tRFC.
+	r := &Request{LineAddr: 2, CoreID: 0}
+	c.Enqueue(r, 1001)
+	var done *Request
+	for cy := uint64(1001); cy < 4000 && done == nil; cy++ {
+		for _, d := range c.Tick(cy) {
+			if d == r {
+				done = d
+			}
+		}
+	}
+	if done == nil {
+		t.Fatal("request never completed")
+	}
+	if done.RowHit {
+		t.Error("refresh must close open rows")
+	}
+	if c.Stats.Refreshes == 0 {
+		t.Error("no refreshes recorded")
+	}
+	// Staggered deadline for rank 0 of TREFI/2 = 500, then 1500...; the
+	// request at 1001 waits for the 500-refresh only if tRFC overlaps; at
+	// minimum its issue must be at/after enqueue.
+	if done.IssuedAt < 1001 {
+		t.Errorf("issued at %d, before enqueue", done.IssuedAt)
+	}
+}
+
+func TestRefreshDisabled(t *testing.T) {
+	ti := DDR3()
+	ti.TREFI = 0
+	c := NewController(QuadCoreGeometry(), ti, SchedFRFCFS, 4)
+	for cy := uint64(0); cy < 100000; cy += 100 {
+		c.Tick(cy)
+	}
+	if c.Stats.Refreshes != 0 {
+		t.Errorf("refreshes = %d with TREFI=0", c.Stats.Refreshes)
+	}
+}
+
+func TestTFAWLimitsActivationBursts(t *testing.T) {
+	ti := DDR3()
+	ti.TREFI = 0
+	// 5 conflicting activates to 5 different banks of one rank: the fifth
+	// must wait for the tFAW window.
+	c := NewController(Geometry{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 8192,
+		LineSize: 64, QueueSize: 64, WriteQCap: 16, WriteDrain: 8}, ti, SchedFCFS, 4)
+	linesPerRow := uint64(8192 / 64)
+	for b := uint64(0); b < 5; b++ {
+		c.Enqueue(&Request{LineAddr: b * linesPerRow, CoreID: 0}, 0)
+	}
+	var done []*Request
+	for cy := uint64(0); cy < 5000 && len(done) < 5; cy++ {
+		done = append(done, c.Tick(cy)...)
+	}
+	if len(done) != 5 {
+		t.Fatalf("only %d completed", len(done))
+	}
+	// IssuedAt is the scheduling decision; the activation constraints show
+	// up in data completion times: the fifth activate's data is at least a
+	// tFAW window after the first's.
+	if done[4].DoneAt-done[0].DoneAt < uint64(ti.TFAW)-uint64(4*ti.TBurst) {
+		t.Errorf("fifth completion at %d vs first %d: tFAW=%d not enforced",
+			done[4].DoneAt, done[0].DoneAt, ti.TFAW)
+	}
+}
+
+func TestTRRDSpacing(t *testing.T) {
+	ti := DDR3()
+	ti.TREFI = 0
+	ti.TFAW = 0
+	ti.TRRD = 40 // well above the 16-cycle bus serialization
+	c := NewController(QuadCoreGeometry(), ti, SchedFCFS, 4)
+	geo := c.Geometry()
+	linesPerRow := uint64(geo.RowBytes / geo.LineSize)
+	// Two activates to different banks, same channel/rank.
+	c.Enqueue(&Request{LineAddr: 0, CoreID: 0}, 0)
+	c.Enqueue(&Request{LineAddr: linesPerRow * uint64(geo.Channels), CoreID: 0}, 0)
+	var done []*Request
+	for cy := uint64(0); cy < 3000 && len(done) < 2; cy++ {
+		done = append(done, c.Tick(cy)...)
+	}
+	if len(done) != 2 {
+		t.Fatalf("only %d completed", len(done))
+	}
+	// Both cold; without tRRD the bus alone would space completions by
+	// TBurst (16). With tRRD=40 the second activate waits, so completions
+	// are at least tRRD apart.
+	d := int64(done[1].DoneAt) - int64(done[0].DoneAt)
+	if d < 0 {
+		d = -d
+	}
+	if d < int64(ti.TRRD) {
+		t.Errorf("completion spacing %d < tRRD %d", d, ti.TRRD)
+	}
+}

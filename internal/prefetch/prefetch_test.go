@@ -1,0 +1,304 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+func miss(line uint64) Event { return Event{LineAddr: line, Miss: true} }
+
+func TestNull(t *testing.T) {
+	var n Null
+	if n.Name() != "none" || n.Train(miss(1)) != nil {
+		t.Error("Null prefetcher must do nothing")
+	}
+}
+
+func TestStreamDetectsAscending(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	var got []uint64
+	for l := uint64(100); l < 110; l++ {
+		got = s.Train(miss(l))
+		if len(got) > 0 {
+			break
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("stream never activated on an ascending miss sequence")
+	}
+	// Proposals must be ahead of the trigger, ascending.
+	for i, p := range got {
+		if p <= 101 {
+			t.Errorf("proposal %d (%d) not ahead of stream", i, p)
+		}
+		if i > 0 && p != got[i-1]+1 {
+			t.Errorf("proposals not sequential: %v", got)
+		}
+	}
+}
+
+func TestStreamDetectsDescending(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	var got []uint64
+	for l := uint64(1000); l > 990; l-- {
+		got = s.Train(miss(l))
+		if len(got) > 0 {
+			break
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("stream never activated on a descending sequence")
+	}
+	if got[0] >= 1000 {
+		t.Errorf("descending proposals should be below trigger: %v", got[:3])
+	}
+}
+
+func TestStreamIgnoresRandom(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	lines := []uint64{5000, 12, 88341, 777, 4242, 90909, 13, 55555}
+	for _, l := range lines {
+		if out := s.Train(miss(l)); len(out) != 0 {
+			t.Fatalf("random misses should not trigger prefetches, got %v", out)
+		}
+	}
+}
+
+func TestStreamHitsDontTrain(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	for l := uint64(0); l < 20; l++ {
+		if out := s.Train(Event{LineAddr: l, Miss: false}); out != nil {
+			t.Fatal("hits must not train the stream prefetcher")
+		}
+	}
+}
+
+func TestStreamDistanceBounded(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	s := NewStream(cfg)
+	var maxAhead uint64
+	for l := uint64(0); l < 100; l++ {
+		for _, p := range s.Train(miss(l)) {
+			if p-l > maxAhead {
+				maxAhead = p - l
+			}
+		}
+	}
+	if maxAhead > uint64(cfg.Distance) {
+		t.Errorf("prefetched %d lines ahead, max distance %d", maxAhead, cfg.Distance)
+	}
+	if maxAhead == 0 {
+		t.Error("stream never prefetched")
+	}
+}
+
+func TestMarkovLearnsSuccessors(t *testing.T) {
+	m := NewMarkov(DefaultMarkovConfig())
+	// Teach the pattern A -> B -> C twice, then revisit A.
+	seq := []uint64{10, 20, 30, 10, 20, 30}
+	for _, l := range seq {
+		m.Train(miss(l))
+	}
+	out := m.Train(miss(10))
+	if len(out) == 0 || out[0] != 20 {
+		t.Fatalf("Markov should predict 20 after 10, got %v", out)
+	}
+}
+
+func TestMarkovMultipleSuccessors(t *testing.T) {
+	m := NewMarkov(MarkovConfig{Entries: 16, Successors: 4})
+	for _, l := range []uint64{1, 100, 1, 200, 1, 300} {
+		m.Train(miss(l))
+	}
+	out := m.Train(miss(1))
+	if len(out) != 3 {
+		t.Fatalf("want 3 successors of 1, got %v", out)
+	}
+	if out[0] != 300 {
+		t.Errorf("most recent successor first, got %v", out)
+	}
+}
+
+func TestMarkovSuccessorCap(t *testing.T) {
+	m := NewMarkov(MarkovConfig{Entries: 16, Successors: 2})
+	for _, l := range []uint64{1, 100, 1, 200, 1, 300, 1, 400} {
+		m.Train(miss(l))
+	}
+	out := m.Train(miss(1))
+	if len(out) != 2 || out[0] != 400 || out[1] != 300 {
+		t.Errorf("cap at 2 most recent successors, got %v", out)
+	}
+}
+
+func TestMarkovTableBounded(t *testing.T) {
+	m := NewMarkov(MarkovConfig{Entries: 8, Successors: 2})
+	for i := uint64(0); i < 1000; i++ {
+		m.Train(miss(i * 17))
+	}
+	if len(m.table) > 8 {
+		t.Errorf("table grew to %d entries, cap 8", len(m.table))
+	}
+}
+
+func TestGHBDeltaCorrelation(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	// Repeating delta pattern +1,+1,+10. Second time through the pattern the
+	// delta context repeats and GHB must replay the following deltas.
+	var addr uint64 = 1000
+	deltas := []int64{1, 1, 10, 1, 1, 10, 1, 1, 10}
+	var last []uint64
+	for _, d := range deltas {
+		addr = uint64(int64(addr) + d)
+		out := g.Train(miss(addr))
+		if len(out) > 0 {
+			last = out
+		}
+	}
+	if len(last) == 0 {
+		t.Fatal("GHB never predicted on a repeating delta sequence")
+	}
+	// After context (1,1) at addr, history says next delta is 10.
+	found := false
+	for _, p := range last {
+		if p > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no positive predictions: %v", last)
+	}
+}
+
+func TestGHBPredictsExactDeltas(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	// Strided misses: +4 each time. Context (4,4) recurs; replayed deltas
+	// are all +4, so predictions are addr+4, addr+8, ...
+	var preds []uint64
+	var addr uint64
+	for i := 0; i < 10; i++ {
+		addr += 4
+		out := g.Train(miss(addr))
+		if len(out) > 0 {
+			preds = out
+			break
+		}
+	}
+	if len(preds) == 0 {
+		t.Fatal("no predictions for strided pattern")
+	}
+	for i, p := range preds {
+		want := addr + uint64(4*(i+1))
+		if p != want {
+			t.Errorf("prediction %d = %d, want %d", i, p, want)
+		}
+	}
+}
+
+func TestGHBNoFalsePositivesCold(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	if out := g.Train(miss(5)); out != nil {
+		t.Error("first miss should predict nothing")
+	}
+	if out := g.Train(miss(9)); out != nil {
+		t.Error("second miss should predict nothing")
+	}
+}
+
+func TestFDPThrottlesDown(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	cfg.Interval = 32
+	f := NewFDP(cfg, NewStream(DefaultStreamConfig()))
+	start := f.Degree()
+	// Feed a long stream so prefetches issue, never report usefulness:
+	// accuracy 0 -> degree must shrink to min.
+	for l := uint64(0); l < 5000; l++ {
+		f.Train(miss(l))
+	}
+	if f.Degree() != cfg.MinDegree {
+		t.Errorf("degree = %d, want min %d (started %d)", f.Degree(), cfg.MinDegree, start)
+	}
+	if f.DegreeChanges == 0 {
+		t.Error("degree should have changed")
+	}
+}
+
+func TestFDPRampsUp(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	cfg.Interval = 16
+	f := NewFDP(cfg, NewStream(DefaultStreamConfig()))
+	for l := uint64(0); l < 20000; l++ {
+		out := f.Train(miss(l))
+		// Report every prefetch useful: accuracy 1.0.
+		for range out {
+			f.RecordUseful()
+		}
+	}
+	if f.Degree() != cfg.MaxDegree {
+		t.Errorf("degree = %d, want max %d", f.Degree(), cfg.MaxDegree)
+	}
+	if f.Accuracy() < 0.99 {
+		t.Errorf("accuracy = %v, want ~1", f.Accuracy())
+	}
+}
+
+func TestFDPBoundsProposals(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	f := NewFDP(cfg, NewStream(DefaultStreamConfig()))
+	for l := uint64(0); l < 200; l++ {
+		if out := f.Train(miss(l)); len(out) > f.Degree() {
+			t.Fatalf("FDP returned %d proposals with degree %d", len(out), f.Degree())
+		}
+	}
+}
+
+func TestCombined(t *testing.T) {
+	c := NewCombined("markov+stream", NewMarkov(DefaultMarkovConfig()), NewStream(DefaultStreamConfig()))
+	if c.Name() != "markov+stream" {
+		t.Error("name wrong")
+	}
+	// A sequential pattern triggers the stream part at least.
+	var any bool
+	for l := uint64(0); l < 50; l++ {
+		if len(c.Train(miss(l))) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("combined prefetcher never proposed")
+	}
+}
+
+// Coverage comparison: on a pure stream, the stream prefetcher must cover
+// far more misses than on a pointer-chase-like random sequence. This is the
+// mechanism behind Fig. 3 of the paper.
+func TestStreamCoverageContrast(t *testing.T) {
+	covered := func(lines []uint64) int {
+		s := NewStream(DefaultStreamConfig())
+		pf := map[uint64]bool{}
+		n := 0
+		for _, l := range lines {
+			if pf[l] {
+				n++
+			}
+			for _, p := range s.Train(miss(l)) {
+				pf[p] = true
+			}
+		}
+		return n
+	}
+	var seq, rnd []uint64
+	x := uint64(12345)
+	for i := 0; i < 500; i++ {
+		seq = append(seq, uint64(i))
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		rnd = append(rnd, x%1000000)
+	}
+	cs, cr := covered(seq), covered(rnd)
+	if cs < 400 {
+		t.Errorf("stream coverage on sequential pattern too low: %d/500", cs)
+	}
+	if cr > 20 {
+		t.Errorf("stream coverage on random pattern too high: %d/500", cr)
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a compact human-readable report of a run — the same
+// content the emcsim CLI prints, reusable by library callers.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d avgIPC=%.4f\n", r.Cycles, r.AvgIPC())
+	for _, c := range r.Cores {
+		fmt.Fprintf(&b, "  %-12s IPC=%.4f loads=%d llcMiss=%d dependent=%d chains=%d\n",
+			c.Benchmark, c.IPC, c.Stats.Loads, c.Stats.LLCMissLoads,
+			c.Stats.DependentMissLoads, c.Stats.ChainsGenerated)
+	}
+	fmt.Fprintf(&b, "  dram: demand=%d prefetch=%d emc=%d writes=%d rowConflict=%.1f%%\n",
+		r.Sys.DRAMDemandReads, r.Sys.DRAMPrefetch, r.Sys.DRAMEMCReads,
+		r.Sys.DRAMWrites, 100*r.RowConflictRate())
+	fmt.Fprintf(&b, "  miss latency: core=%.1f", r.CoreMissLatency())
+	if r.Sys.EMCMissCount > 0 {
+		fmt.Fprintf(&b, " emc=%.1f (%.0f%% lower)", r.EMCMissLatency(),
+			100*(1-r.EMCMissLatency()/r.CoreMissLatency()))
+	}
+	b.WriteByte('\n')
+	if len(r.EMC) > 0 {
+		var done, aborted uint64
+		for _, e := range r.EMC {
+			done += e.ChainsDone
+			aborted += e.ChainsAborted
+		}
+		fmt.Fprintf(&b, "  emc: chainsDone=%d aborted=%d missShare=%.1f%% cacheHit=%.1f%%\n",
+			done, aborted, 100*r.EMCMissFraction(), 100*r.EMCCacheHitRate())
+	}
+	fmt.Fprintf(&b, "  energy: %.3g J (chip %.3g, dram %.3g)\n",
+		r.Energy.Total(), r.Energy.Chip(), r.Energy.DRAMStatic+r.Energy.DRAMDynamic)
+	return b.String()
+}

@@ -1,0 +1,769 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/emc"
+	"repro/internal/interconnect"
+	"repro/internal/mem/cache"
+	"repro/internal/mem/dram"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// memReq tracks one line request end to end, with the timestamps the
+// latency-breakdown figures need.
+type memReq struct {
+	line      uint64 // physical line address
+	core      int
+	pc        uint64
+	vaddr     uint64
+	dependent bool
+	prefetch  bool
+	fromEMC   bool
+	emcMC     int // MC hosting the requesting EMC
+
+	issuedAt    uint64
+	sliceArrive uint64
+	sliceDone   uint64
+	mcArrive    uint64
+	dramIssued  uint64
+	dramDone    uint64
+	fillCore    uint64
+
+	llcMiss bool
+	ideal   bool // served by the ideal-dependent-hit mode
+}
+
+type msgKind uint8
+
+const (
+	mReqToSlice    msgKind = iota // core -> slice: demand load (ctrl)
+	mHitData                      // slice -> core: LLC hit data (data)
+	mReqToMC                      // slice -> MC: read request (ctrl)
+	mFillToSlice                  // MC -> slice: DRAM fill (data)
+	mFillToCore                   // slice -> core: fill after LLC insert (data)
+	mStore                        // core -> slice: write-through store (data)
+	mWriteback                    // slice -> MC: dirty eviction (data)
+	mL1Inval                      // slice -> core: inclusive eviction (ctrl)
+	mEMCInval                     // slice -> MC: EMC cache invalidation (ctrl)
+	mChainFlit                    // core -> MC: chain packet flit (data)
+	mChainDone                    // MC -> core: live-out flit (data)
+	mChainAbort                   // MC -> core: abort notice (ctrl)
+	mMemExec                      // MC -> core: EMC executed a mem op (ctrl)
+	mConflictAbort                // core -> MC: LSQ conflict detected (ctrl)
+	mPTEInstall                   // core -> MC: PTE after TLB-miss abort (ctrl)
+	mEMCLLCReq                    // MC -> slice: EMC load via LLC (ctrl)
+	mEMCLLCData                   // slice -> MC: data for EMC (data)
+	mCrossReq                     // MC -> MC: EMC request for remote channel (ctrl)
+	mCrossData                    // MC -> MC: data back to requesting EMC (data)
+)
+
+type msg struct {
+	kind   msgKind
+	req    *memReq
+	chain  *cpu.Chain
+	values []uint64
+	reason emc.AbortReason
+	uopIdx int
+	vaddr  uint64
+	core   int
+	mc     int // origin/target MC index where relevant
+	line   uint64
+	xfer   *chainTransfer
+}
+
+// chainTransfer tracks a multi-flit chain packet.
+type chainTransfer struct {
+	chain   *cpu.Chain
+	pending int
+}
+
+type sliceEvent struct {
+	at  uint64
+	req *memReq
+}
+
+type llcSlice struct {
+	id, stop int
+	c        *cache.Cache
+	lookupQ  []sliceEvent
+	fillQ    []sliceEvent
+	// outstanding merges requests per line while a fill is in flight.
+	outstanding map[uint64]*lineWaiters
+}
+
+type lineWaiters struct {
+	reqs []*memReq // includes the request that launched the fill
+}
+
+type mcPending struct {
+	line    uint64
+	reqs    []*memReq // slice-path requests (fill via slice)
+	emcReqs []*memReq // local-EMC direct requests
+	cross   []*memReq // remote-EMC requests (fill via mCrossData)
+}
+
+type mcNode struct {
+	id, stop int
+	ctrl     *dram.Controller
+	emc      *emc.EMC
+	pending  map[uint64]*mcPending
+	retryQ   []*dram.Request
+	magicQ   []*cpu.Chain // MagicChains diagnostic mode
+}
+
+// RunStats aggregates system-level counters (see results.go for derived
+// metrics).
+type RunStats struct {
+	Cycles uint64
+
+	LLCHits      uint64
+	LLCMisses    uint64
+	LLCDemand    uint64
+	DepMisses    uint64 // dependent misses observed at the LLC
+	DepCovered   uint64 // dependent accesses that hit a prefetched line
+	TotalCovered uint64 // all demand hits on prefetched lines
+	IdealDepHits uint64
+
+	DRAMDemandReads uint64
+	DRAMPrefetch    uint64
+	DRAMEMCReads    uint64
+	DRAMWrites      uint64
+
+	// Core-generated DRAM-read latency segments (Fig. 1, 18, 19).
+	CoreMissCount    uint64
+	CoreMissSegCount uint64 // misses with complete segment timelines
+	CoreMissTotal    uint64 // issue -> fill at core
+	CoreMissDRAM     uint64 // DRAM service (issue at bank -> data)
+	CoreMissQueue    uint64 // MC queue delay
+	CoreMissRingReq  uint64 // core -> slice -> MC transit
+	CoreMissRingRsp  uint64 // MC -> slice -> core transit (fill path)
+	CoreMissLLCLat   uint64 // slice lookup time
+
+	// EMC-generated request latency (Fig. 18).
+	EMCMissCount uint64
+	EMCMissTotal uint64
+	EMCMissQueue uint64
+
+	EMCLLCHits   uint64 // EMC LLC-path requests that hit on chip
+	EMCPredWrong uint64 // direct-DRAM requests the directory redirected
+
+	EMCCoveredByPF uint64 // EMC requests served by a prefetched line
+
+	// Latency distributions (log2-bucketed) for miss requests.
+	CoreMissHist stats.Histogram
+	EMCMissHist  stats.Histogram
+
+	EMCRowHits      uint64
+	DemandRowHits   uint64
+	CrossMCRequests uint64
+	ChainFlits      uint64
+	ChainRejects    uint64
+	PTEInstalls     uint64
+	L1Invals        uint64
+	EMCInvals       uint64
+}
+
+// System is one assembled chip + workload.
+type System struct {
+	cfg    Config
+	cores  []*cpu.Core
+	gens   []*trace.Generator
+	pts    []*vm.PageTable
+	frames *vm.FrameAllocator
+
+	ctrl *interconnect.Ring
+	data *interconnect.Ring
+
+	slices []*llcSlice
+	mcs    []*mcNode
+	pfs    []*prefetch.FDP
+
+	coreStop []int
+	mcStop   []int
+
+	now uint64
+	st  RunStats
+
+	activeChains map[*cpu.Chain]int // chain -> MC hosting it
+}
+
+// coreShim adapts a core id to the cpu.Uncore interface.
+type coreShim struct {
+	s  *System
+	id int
+}
+
+// LoadMiss implements cpu.Uncore.
+func (cs coreShim) LoadMiss(m *cpu.MissInfo) { cs.s.coreLoadMiss(m) }
+
+// StoreWrite implements cpu.Uncore.
+func (cs coreShim) StoreWrite(coreID int, lineAddr, vaddr uint64) {
+	cs.s.coreStore(coreID, lineAddr, vaddr)
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, frames: vm.NewFrameAllocator(), activeChains: map[*cpu.Chain]int{}}
+	n := len(cfg.Benchmarks)
+
+	// Topology: one ring stop per core (shared with its LLC slice), then the
+	// MC stop(s). With two MCs they sit at opposite sides of the ring
+	// (Fig. 11b): cores 0..n/2-1, MC0, cores n/2..n-1, MC1.
+	stops := n + cfg.MCs
+	s.coreStop = make([]int, n)
+	if cfg.MCs == 1 {
+		for i := 0; i < n; i++ {
+			s.coreStop[i] = i
+		}
+		s.mcStop = []int{n}
+	} else {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			s.coreStop[i] = i
+		}
+		for i := half; i < n; i++ {
+			s.coreStop[i] = i + 1
+		}
+		s.mcStop = []int{half, n + 1}
+	}
+	s.ctrl = interconnect.NewRing("ctrl", stops)
+	s.data = interconnect.NewRing("data", stops)
+
+	// Cores, page tables, traces.
+	for i, bench := range cfg.Benchmarks {
+		prof, err := trace.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		g := trace.NewGenerator(prof, cfg.Seed+uint64(i)*0x9E3779B9)
+		s.gens = append(s.gens, g)
+		pt := vm.NewPageTableShift(i, s.frames, cfg.PageShift)
+		s.pts = append(s.pts, pt)
+		cc := cpu.DefaultConfig(i)
+		cc.EMCEnabled = cfg.EMCEnabled
+		cc.Runahead.Enabled = cfg.RunaheadEnabled
+		cc.UseBranchPredictor = cfg.UseBranchPredictor
+		if cfg.CoreTweak != nil {
+			cfg.CoreTweak(&cc)
+		}
+		feed := &trace.LimitReader{R: g, N: cfg.InstrPerCore}
+		s.cores = append(s.cores, cpu.New(cc, feed, pt, coreShim{s: s, id: i}))
+	}
+
+	// LLC slices co-located with cores.
+	for i := 0; i < n; i++ {
+		s.slices = append(s.slices, &llcSlice{
+			id: i, stop: s.coreStop[i],
+			c: cache.New(cache.Config{Name: fmt.Sprintf("llc%d", i),
+				SizeBytes: cfg.LLCSliceBytes, Ways: 8, Latency: cfg.LLCLatency}),
+			outstanding: map[uint64]*lineWaiters{},
+		})
+	}
+
+	// Memory controllers (+EMC).
+	chPerMC := cfg.Geometry.Channels / cfg.MCs
+	for m := 0; m < cfg.MCs; m++ {
+		geo := cfg.Geometry
+		geo.Channels = chPerMC
+		geo.QueueSize = cfg.Geometry.QueueSize / cfg.MCs
+		node := &mcNode{id: m, stop: s.mcStop[m],
+			ctrl:    dram.NewController(geo, cfg.Timing, cfg.Sched, n),
+			pending: map[uint64]*mcPending{},
+		}
+		if cfg.EMCEnabled {
+			ecfg := cfg.EMCCfg
+			if cfg.MCs == 2 {
+				ecfg.Contexts = cfg.EMCCfg.Contexts / 2
+				if ecfg.Contexts < 1 {
+					ecfg.Contexts = 1
+				}
+			}
+			node.emc = emc.New(ecfg, m, n)
+		}
+		s.mcs = append(s.mcs, node)
+	}
+
+	// Per-core prefetchers (trained at the LLC, per Table 1, with FDP).
+	for i := 0; i < n; i++ {
+		var inner prefetch.Prefetcher
+		switch cfg.Prefetcher {
+		case PFNone:
+			inner = prefetch.Null{}
+		case PFGHB:
+			inner = prefetch.NewGHB(prefetch.DefaultGHBConfig())
+		case PFStream:
+			inner = prefetch.NewStream(prefetch.DefaultStreamConfig())
+		case PFMarkovStream:
+			inner = prefetch.NewCombined("markov+stream",
+				prefetch.NewMarkov(prefetch.DefaultMarkovConfig()),
+				prefetch.NewStream(prefetch.DefaultStreamConfig()))
+		}
+		s.pfs = append(s.pfs, prefetch.NewFDP(prefetch.DefaultFDPConfig(), inner))
+	}
+	return s, nil
+}
+
+// sliceOf maps a physical line address to its LLC slice.
+func (s *System) sliceOf(line uint64) *llcSlice {
+	return s.slices[int(line)%len(s.slices)]
+}
+
+// mcOf maps a physical line address to the memory controller owning its
+// channel (lines interleave across MCs).
+func (s *System) mcOf(line uint64) *mcNode {
+	return s.mcs[int(line)%len(s.mcs)]
+}
+
+// mcLine converts a global line address to the controller-local address used
+// by the per-MC DRAM decoder.
+func (s *System) mcLine(line uint64) uint64 { return line / uint64(len(s.mcs)) }
+
+// ---- Core-side callbacks -----------------------------------------------------
+
+func (s *System) coreLoadMiss(m *cpu.MissInfo) {
+	r := &memReq{
+		line: m.LineAddr, core: m.CoreID, pc: m.PC, vaddr: m.VAddr,
+		dependent: m.Dependent, prefetch: m.Prefetch, issuedAt: m.IssuedAt,
+	}
+	sl := s.sliceOf(r.line)
+	s.ctrl.Send(s.coreStop[m.CoreID], sl.stop, &msg{kind: mReqToSlice, req: r}, s.now)
+}
+
+func (s *System) coreStore(coreID int, lineAddr, vaddr uint64) {
+	r := &memReq{line: lineAddr, core: coreID, vaddr: vaddr, issuedAt: s.now}
+	sl := s.sliceOf(lineAddr)
+	s.data.Send(s.coreStop[coreID], sl.stop, &msg{kind: mStore, req: r}, s.now)
+}
+
+// ---- Main loop -----------------------------------------------------------------
+
+// Run simulates until every core finishes (or MaxCycles) and returns the
+// collected Result.
+func (s *System) Run() (*Result, error) {
+	for {
+		done := true
+		for _, c := range s.cores {
+			if !c.Finished() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if s.now >= s.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (deadlock?)", s.cfg.MaxCycles)
+		}
+		s.step()
+	}
+	return s.collect(), nil
+}
+
+// Step advances one cycle (exported for tests).
+func (s *System) Step() { s.step() }
+
+// Shootdown performs a TLB shootdown for one page of one core's address
+// space: the core's TLB entry is invalidated, and — per the paper's §4.1.4
+// residence-bit scheme — the EMC TLB entry is invalidated only if the PTE
+// says a copy lives there, saving broadcast traffic otherwise.
+func (s *System) Shootdown(core int, vaddr uint64) {
+	s.cores[core].ShootdownTLB(vaddr)
+	pte := s.pts[core].Lookup(vaddr)
+	if !pte.EMCResident {
+		return
+	}
+	for _, mc := range s.mcs {
+		if mc.emc != nil {
+			mc.emc.TLB(core).Invalidate(vaddr)
+			s.st.EMCInvals++
+		}
+	}
+}
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.now }
+
+func (s *System) step() {
+	s.now++
+	s.st.Cycles = s.now
+
+	// 1. Interconnect: advance and deliver.
+	s.ctrl.Tick(s.now)
+	s.data.Tick(s.now)
+	for stop := 0; stop < s.ctrl.Stops(); stop++ {
+		for _, m := range s.ctrl.Deliver(stop) {
+			s.handle(stop, m.Payload.(*msg))
+		}
+		for _, m := range s.data.Deliver(stop) {
+			s.handle(stop, m.Payload.(*msg))
+		}
+	}
+
+	// 2. LLC slices: complete due lookups and fills.
+	for _, sl := range s.slices {
+		s.sliceTick(sl)
+	}
+
+	// 3. Memory controllers: DRAM, retries, EMC execution.
+	for _, mc := range s.mcs {
+		s.mcTick(mc)
+	}
+
+	// 4. Cores.
+	for _, c := range s.cores {
+		if !c.Finished() {
+			c.Tick(s.now)
+		}
+	}
+
+	// 5. Chain shipping and late-disambiguation conflicts.
+	if s.cfg.EMCEnabled {
+		for i, c := range s.cores {
+			if ch := c.TakeReadyChain(s.now); ch != nil {
+				s.shipChain(i, ch)
+			}
+			for _, ch := range c.TakeConflictedChains() {
+				if mcID, ok := s.activeChains[ch]; ok {
+					s.ctrl.Send(s.coreStop[i], s.mcs[mcID].stop,
+						&msg{kind: mConflictAbort, chain: ch, mc: mcID}, s.now)
+				} else {
+					c.AbortRemoteChain(ch)
+				}
+			}
+		}
+	}
+}
+
+// shipChain sends a generated chain to the MC owning the source line's
+// channel, as multiple data-ring flits.
+func (s *System) shipChain(core int, ch *cpu.Chain) {
+	if s.cfg.OnChain != nil {
+		s.cfg.OnChain(ch)
+	}
+	mc := s.mcOf(ch.SourceLine)
+	flits := (ch.Bytes() + 63) / 64
+	if flits < 1 {
+		flits = 1
+	}
+	xfer := &chainTransfer{chain: ch, pending: flits}
+	s.st.ChainFlits += uint64(flits)
+	for f := 0; f < flits; f++ {
+		s.data.Send(s.coreStop[core], mc.stop, &msg{kind: mChainFlit, chain: ch, xfer: xfer, mc: mc.id}, s.now)
+	}
+}
+
+// handle dispatches a delivered ring message.
+func (s *System) handle(stop int, m *msg) {
+	switch m.kind {
+	case mReqToSlice:
+		m.req.sliceArrive = s.now
+		sl := s.sliceOf(m.req.line)
+		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
+	case mHitData, mFillToCore:
+		s.deliverFill(m.req)
+	case mReqToMC:
+		s.mcAdmit(s.mcOf(m.req.line), m.req)
+	case mFillToSlice:
+		sl := s.sliceOf(m.req.line)
+		sl.fillQ = append(sl.fillQ, sliceEvent{at: s.now + uint64(s.cfg.LLCFillLatency), req: m.req})
+	case mStore:
+		s.sliceStore(m.req)
+	case mWriteback:
+		s.mcWrite(s.mcOf(m.req.line), m.req)
+	case mL1Inval:
+		s.st.L1Invals++
+		core := s.cores[m.core]
+		core.L1D().Invalidate(m.line << cache.LineShift)
+	case mEMCInval:
+		s.st.EMCInvals++
+		if e := s.mcs[m.mc].emc; e != nil {
+			e.InvalidateLine(m.line)
+		}
+	case mChainFlit:
+		m.xfer.pending--
+		if m.xfer.pending == 0 {
+			s.installChain(s.mcs[m.mc], m.chain)
+		}
+	case mChainDone:
+		if m.values == nil {
+			return // leading flit of a multi-flit live-out transfer
+		}
+		s.cores[m.core].CompleteRemoteChain(m.chain, m.values, s.now)
+		delete(s.activeChains, m.chain)
+	case mChainAbort:
+		s.cores[m.core].AbortRemoteChain(m.chain)
+		delete(s.activeChains, m.chain)
+		if m.reason == emc.AbortTLBMiss {
+			// The core responds with the missing translation so the next
+			// chain touching this page succeeds.
+			pte := s.pts[m.core].Lookup(m.vaddr)
+			s.ctrl.Send(s.coreStop[m.core], s.mcs[m.mc].stop,
+				&msg{kind: mPTEInstall, core: m.core, mc: m.mc, vaddr: m.vaddr}, s.now)
+			_ = pte
+		}
+	case mMemExec:
+		robIdx := m.chain.Uops[m.uopIdx].RobIdx
+		conflict := s.cores[m.core].RemoteMemExecuted(robIdx, m.vaddr)
+		if conflict {
+			s.ctrl.Send(s.coreStop[m.core], s.mcs[m.mc].stop,
+				&msg{kind: mConflictAbort, chain: m.chain, mc: m.mc}, s.now)
+		}
+	case mConflictAbort:
+		mc := s.mcs[m.mc]
+		if mc.emc != nil {
+			s.emcActions(mc, mc.emc.AbortContext(m.chain, emc.AbortConflict, s.now))
+		}
+	case mPTEInstall:
+		s.st.PTEInstalls++
+		mc := s.mcs[m.mc]
+		if mc.emc != nil {
+			mc.emc.TLB(m.core).Insert(m.vaddr, s.pts[m.core].Lookup(m.vaddr))
+		}
+	case mEMCLLCReq:
+		m.req.sliceArrive = s.now
+		sl := s.sliceOf(m.req.line)
+		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
+	case mEMCLLCData:
+		s.emcFill(s.mcs[m.req.emcMC], m.req)
+	case mCrossReq:
+		s.st.CrossMCRequests++
+		s.mcAdmit(s.mcs[m.mc], m.req)
+	case mCrossData:
+		s.emcFill(s.mcs[m.req.emcMC], m.req)
+	}
+}
+
+// deliverFill hands a line to the requesting core's L1 and bookkeeps
+// latency segments.
+func (s *System) deliverFill(r *memReq) {
+	r.fillCore = s.now
+	core := s.cores[r.core]
+	victim, had := core.Fill(r.line, s.now)
+	sl := s.sliceOf(r.line)
+	sl.c.SetPresence(r.line<<cache.LineShift, r.core, true)
+	if had {
+		s.sliceOf(victim).c.SetPresence(victim<<cache.LineShift, r.core, false)
+	}
+	if r.llcMiss && !r.ideal {
+		s.st.CoreMissCount++
+		s.st.CoreMissHist.Add(r.fillCore - r.issuedAt)
+		s.st.CoreMissTotal += r.fillCore - r.issuedAt
+		// Segment accounting only for requests with a complete, monotone
+		// timeline (merged waiters picked up mid-flight lack early stamps).
+		if r.issuedAt <= r.mcArrive && r.mcArrive <= r.dramIssued &&
+			r.dramIssued <= r.dramDone && r.dramDone <= r.fillCore &&
+			r.sliceArrive <= r.sliceDone && r.mcArrive > 0 {
+			s.st.CoreMissSegCount++
+			s.st.CoreMissDRAM += r.dramDone - r.dramIssued
+			s.st.CoreMissQueue += r.dramIssued - r.mcArrive
+			s.st.CoreMissRingReq += r.mcArrive - r.issuedAt
+			s.st.CoreMissRingRsp += r.fillCore - r.dramDone
+			s.st.CoreMissLLCLat += r.sliceDone - r.sliceArrive
+		}
+	}
+}
+
+// ---- LLC slice behaviour --------------------------------------------------------
+
+func (s *System) sliceTick(sl *llcSlice) {
+	for len(sl.lookupQ) > 0 && sl.lookupQ[0].at <= s.now {
+		ev := sl.lookupQ[0]
+		sl.lookupQ = sl.lookupQ[1:]
+		s.sliceLookup(sl, ev.req)
+	}
+	for len(sl.fillQ) > 0 && sl.fillQ[0].at <= s.now {
+		ev := sl.fillQ[0]
+		sl.fillQ = sl.fillQ[1:]
+		s.sliceFill(sl, ev.req)
+	}
+}
+
+func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
+	r.sliceDone = s.now
+	addr := r.line << cache.LineShift
+	hit := sl.c.Access(addr, false)
+	if !r.fromEMC {
+		s.st.LLCDemand++
+	}
+
+	// Train the miss predictor at every EMC from core demand outcomes.
+	if !r.fromEMC && s.cfg.EMCEnabled {
+		for _, mc := range s.mcs {
+			if mc.emc != nil {
+				mc.emc.TrainMissPredictor(r.core, r.pc, !hit)
+			}
+		}
+	}
+
+	if hit {
+		s.st.LLCHits++
+		if r.prefetch {
+			return // runahead prefetch found the line already on chip
+		}
+		if sl.c.TakePrefetched(addr) {
+			s.pfs[r.core].RecordUseful()
+			s.st.TotalCovered++
+			if r.dependent {
+				s.st.DepCovered++
+			}
+			if r.fromEMC {
+				s.st.EMCCoveredByPF++
+			}
+		}
+		if r.fromEMC {
+			s.st.EMCLLCHits++
+			s.data.Send(sl.stop, s.mcs[r.emcMC].stop, &msg{kind: mEMCLLCData, req: r}, s.now)
+		} else {
+			s.data.Send(sl.stop, s.coreStop[r.core], &msg{kind: mHitData, req: r}, s.now)
+		}
+		return
+	}
+
+	// Miss.
+	s.st.LLCMisses++
+	r.llcMiss = true
+	if r.prefetch {
+		// Runahead prefetch: merge/launch a fill, nothing returns to the core.
+		if w, ok := sl.outstanding[r.line]; ok {
+			w.reqs = append(w.reqs, r)
+			return
+		}
+		sl.outstanding[r.line] = &lineWaiters{reqs: []*memReq{r}}
+		s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+		return
+	}
+	if !r.fromEMC {
+		s.cores[r.core].NoteLLCMiss(r.line)
+		if r.dependent {
+			s.st.DepMisses++
+		}
+		// Fig. 2 idealization: dependent misses served at hit latency.
+		if s.cfg.IdealDependentHits && r.dependent {
+			s.st.IdealDepHits++
+			r.ideal = true
+			s.data.Send(sl.stop, s.coreStop[r.core], &msg{kind: mHitData, req: r}, s.now)
+			return
+		}
+		// Train the prefetcher on the miss and issue its proposals.
+		s.trainPrefetch(r, true)
+	}
+
+	if w, ok := sl.outstanding[r.line]; ok {
+		w.reqs = append(w.reqs, r)
+		return
+	}
+	sl.outstanding[r.line] = &lineWaiters{reqs: []*memReq{r}}
+	s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+}
+
+// trainPrefetch feeds the per-core prefetcher and launches its proposals
+// into the owning slices.
+func (s *System) trainPrefetch(r *memReq, miss bool) {
+	if s.cfg.Prefetcher == PFNone {
+		return
+	}
+	props := s.pfs[r.core].Train(prefetch.Event{LineAddr: r.line, PC: r.pc, Core: r.core, Miss: miss})
+	for _, line := range props {
+		s.issuePrefetch(r.core, line)
+	}
+}
+
+func (s *System) issuePrefetch(core int, line uint64) {
+	sl := s.sliceOf(line)
+	addr := line << cache.LineShift
+	if sl.c.Probe(addr) {
+		return
+	}
+	if _, ok := sl.outstanding[line]; ok {
+		return
+	}
+	r := &memReq{line: line, core: core, prefetch: true, issuedAt: s.now}
+	sl.outstanding[line] = &lineWaiters{reqs: []*memReq{r}}
+	s.ctrl.Send(sl.stop, s.mcOf(line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+}
+
+// sliceFill inserts a filled line, maintains the inclusive directory, and
+// forwards data to waiting cores/EMCs.
+func (s *System) sliceFill(sl *llcSlice, r *memReq) {
+	addr := r.line << cache.LineShift
+	v := sl.c.Insert(addr, false)
+	if r.prefetch {
+		sl.c.SetPrefetched(addr, true)
+	}
+	if v.Valid {
+		s.evictVictim(sl, v)
+	}
+	if r.fromEMC {
+		// The EMC holds this line in its data cache (§4.1.3).
+		sl.c.SetEMCBit(addr, true)
+	}
+	w := sl.outstanding[r.line]
+	delete(sl.outstanding, r.line)
+	if w == nil {
+		return
+	}
+	for _, wr := range w.reqs {
+		if wr.prefetch {
+			continue
+		}
+		// Copy fill timing onto merged waiters.
+		if wr.dramDone == 0 {
+			wr.dramDone, wr.dramIssued, wr.mcArrive = r.dramDone, r.dramIssued, r.mcArrive
+			wr.llcMiss = true
+		}
+		if wr.fromEMC {
+			s.data.Send(sl.stop, s.mcs[wr.emcMC].stop, &msg{kind: mEMCLLCData, req: wr}, s.now)
+		} else {
+			s.data.Send(sl.stop, s.coreStop[wr.core], &msg{kind: mFillToCore, req: wr}, s.now)
+		}
+	}
+}
+
+// evictVictim handles an LLC eviction: inclusive invalidations to L1s, EMC
+// cache invalidation, and the dirty writeback.
+func (s *System) evictVictim(sl *llcSlice, v cache.Victim) {
+	for core := 0; core < len(s.cores); core++ {
+		if v.Presence&(1<<uint(core)) != 0 {
+			s.ctrl.Send(sl.stop, s.coreStop[core], &msg{kind: mL1Inval, core: core, line: v.LineAddr}, s.now)
+		}
+	}
+	if v.EMC {
+		for _, mc := range s.mcs {
+			if mc.emc != nil {
+				s.ctrl.Send(sl.stop, mc.stop, &msg{kind: mEMCInval, mc: mc.id, line: v.LineAddr}, s.now)
+			}
+		}
+	}
+	if v.Dirty {
+		wb := &memReq{line: v.LineAddr, core: -1, issuedAt: s.now}
+		s.data.Send(sl.stop, s.mcOf(v.LineAddr).stop, &msg{kind: mWriteback, req: wb}, s.now)
+	}
+}
+
+// sliceStore applies a write-through store at the LLC (write-no-allocate).
+func (s *System) sliceStore(r *memReq) {
+	sl := s.sliceOf(r.line)
+	addr := r.line << cache.LineShift
+	if sl.c.Probe(addr) {
+		sl.c.Access(addr, true) // marks dirty (write-back LLC)
+		if sl.c.EMCBit(addr) {
+			sl.c.SetEMCBit(addr, false)
+			for _, mc := range s.mcs {
+				if mc.emc != nil {
+					s.ctrl.Send(sl.stop, mc.stop, &msg{kind: mEMCInval, mc: mc.id, line: r.line}, s.now)
+				}
+			}
+		}
+		return
+	}
+	// Miss: no allocate; the write goes to DRAM.
+	s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mWriteback, req: r}, s.now)
+}

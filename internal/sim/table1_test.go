@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/emc"
+	"repro/internal/mem/dram"
+)
+
+// TestTable1Contract pins every default parameter to the paper's Table 1.
+// If a default drifts, this test names the figure of merit that changed.
+func TestTable1Contract(t *testing.T) {
+	core := cpu.DefaultConfig(0)
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"core issue width", core.IssueWidth, 4},
+		{"ROB entries", core.ROBSize, 256},
+		{"reservation station entries", core.RSSize, 92},
+		{"L1 I-cache bytes", core.L1ISize, 32 * 1024},
+		{"L1 D-cache bytes", core.L1DSize, 32 * 1024},
+		{"L1 ways", core.L1DWays, 8},
+		{"L1 latency", core.L1Latency, 3},
+		{"chain max uops", core.ChainMaxUops, 16},
+		{"EMC physical registers", core.ChainMaxRegs, 16},
+		{"live-in vector entries", core.ChainMaxLiveIns, 16},
+		{"dependence counter bits", core.DepCounterBits, 3},
+	}
+	ecfg := emc.DefaultConfig(4)
+	checks = append(checks, []struct {
+		name      string
+		got, want int
+	}{
+		{"EMC contexts (quad)", ecfg.Contexts, 2},
+		{"EMC issue width", ecfg.IssueWidth, 2},
+		{"EMC reservation station", ecfg.RSSize, 8},
+		{"EMC LSQ entries", ecfg.LSQSize, 8},
+		{"EMC data cache bytes", ecfg.CacheSize, 4096},
+		{"EMC data cache ways", ecfg.CacheWays, 4},
+		{"EMC data cache latency", ecfg.CacheLatency, 2},
+		{"EMC TLB entries per core", ecfg.TLBEntriesPerCore, 32},
+	}...)
+	e8 := emc.DefaultConfig(8)
+	checks = append(checks, struct {
+		name      string
+		got, want int
+	}{"EMC contexts (eight)", e8.Contexts, 4})
+
+	quad := dram.QuadCoreGeometry()
+	eight := dram.EightCoreGeometry()
+	checks = append(checks, []struct {
+		name      string
+		got, want int
+	}{
+		{"quad channels", quad.Channels, 2},
+		{"quad memory queue", quad.QueueSize, 128},
+		{"banks per rank", quad.Banks, 8},
+		{"row bytes", quad.RowBytes, 8192},
+		{"eight channels", eight.Channels, 4},
+		{"eight memory queue", eight.QueueSize, 256},
+	}...)
+
+	sys := Default([]string{"a", "b", "c", "d"})
+	checks = append(checks, []struct {
+		name      string
+		got, want int
+	}{
+		{"LLC slice bytes", sys.LLCSliceBytes, 1 << 20},
+		{"LLC latency", sys.LLCLatency, 18},
+	}...)
+
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("Table 1 drift: %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if sys.Sched != dram.SchedBatch {
+		t.Error("Table 1: baseline scheduler is batch scheduling")
+	}
+	ti := dram.DDR3()
+	// CAS 13.75 ns at 3.2 GHz = 44 cycles.
+	if ti.TCAS != 44 {
+		t.Errorf("DDR3 CAS = %d cycles, want 44 (13.75ns at 3.2GHz)", ti.TCAS)
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides small statistics helpers used across the
+// simulator: power-of-two bucketed histograms for latency distributions
+// (cheap enough to update on every memory request) and streaming
+// mean/extrema accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log2-bucketed histogram of non-negative samples. Bucket i
+// holds samples in [2^i, 2^(i+1)); bucket 0 holds 0 and 1. It answers
+// approximate quantiles without storing samples.
+type Histogram struct {
+	buckets [48]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	b := 0
+	if v > 1 {
+		b = 64 - leadingZeros(v) - 1
+		if b >= len(h.buckets) {
+			b = len(h.buckets) - 1
+		}
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for m := uint64(1) << 63; m != 0 && v&m == 0; m >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the observed extrema.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the top of
+// the bucket containing it, clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			top := uint64(1)<<(uint(i)+1) - 1
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// Merge adds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.min, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// Bar renders an ASCII density sketch over the occupied buckets.
+func (h *Histogram) Bar(width int) string {
+	if h.count == 0 || width <= 0 {
+		return ""
+	}
+	lo, hi := 0, len(h.buckets)-1
+	for lo < len(h.buckets) && h.buckets[lo] == 0 {
+		lo++
+	}
+	for hi >= 0 && h.buckets[hi] == 0 {
+		hi--
+	}
+	var peak uint64
+	for i := lo; i <= hi; i++ {
+		if h.buckets[i] > peak {
+			peak = h.buckets[i]
+		}
+	}
+	marks := " .:-=+*#%@"
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		lvl := int(float64(h.buckets[i]) / float64(peak) * float64(len(marks)-1))
+		b.WriteByte(marks[lvl])
+	}
+	return b.String()
+}
+
+// Mean is a streaming mean/extrema accumulator for float64 samples.
+type Mean struct {
+	n   uint64
+	sum float64
+	min float64
+	max float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) {
+	if m.n == 0 || v < m.min {
+		m.min = v
+	}
+	if m.n == 0 || v > m.max {
+		m.max = v
+	}
+	m.n++
+	m.sum += v
+}
+
+// Value returns the mean (0 when empty).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the sample count.
+func (m *Mean) N() uint64 { return m.n }
+
+// Min returns the smallest sample.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest sample.
+func (m *Mean) Max() float64 { return m.max }
+
+// Ratio safely divides two counters.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct is Ratio in percent.
+func Pct(num, den uint64) float64 { return 100 * Ratio(num, den) }

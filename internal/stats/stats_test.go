@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" {
+		t.Error("empty histogram should say so")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	want := float64(0+1+2+3+100+1000) / 6
+	if h.Mean() != want {
+		t.Errorf("mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	// log2 buckets give upper bounds: p50 of 1..1000 is 500, bucket top 511.
+	if q := h.Quantile(0.5); q < 500 || q > 511 {
+		t.Errorf("p50 bound = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want clamped max 1000", q)
+	}
+	if q := h.Quantile(0.0); q == 0 {
+		t.Error("q=0 should return the first occupied bucket top")
+	}
+}
+
+// Property: quantile bounds are monotone in q and always >= min, <= max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Add(uint64(s))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(0); i < 10; i++ {
+		a.Add(i)
+		b.Add(i + 100)
+	}
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 109 {
+		t.Errorf("merged extrema %d/%d", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 20 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestHistogramBar(t *testing.T) {
+	var h Histogram
+	if h.Bar(10) != "" {
+		t.Error("empty bar should be empty")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(64)
+	}
+	h.Add(1024)
+	bar := h.Bar(10)
+	if len(bar) == 0 {
+		t.Fatal("bar should render")
+	}
+	if bar[0] != '@' {
+		t.Errorf("peak bucket should render densest, got %q", bar)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		m.Add(v)
+	}
+	if m.Value() != 2 || m.N() != 3 || m.Min() != 1 || m.Max() != 3 {
+		t.Errorf("mean accumulator wrong: %+v", m)
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("divide by zero should be 0")
+	}
+	if Ratio(1, 2) != 0.5 || Pct(1, 2) != 50 {
+		t.Error("ratio math wrong")
+	}
+}

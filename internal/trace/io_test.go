@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	uops := Generate(MustByName("mcf"), 5, 2000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, uops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(uops) {
+		t.Fatalf("round trip lost uops: %d vs %d", len(got), len(uops))
+	}
+	for i := range uops {
+		if got[i] != uops[i] {
+			t.Fatalf("uop %d differs:\n  in:  %+v\n  out: %+v", i, uops[i], got[i])
+		}
+	}
+	// A round-tripped trace is still value-consistent.
+	if err := Check(&SliceReader{Uops: got}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceBadInputs(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadTrace(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, Generate(MustByName("gcc"), 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace should fail")
+	}
+}

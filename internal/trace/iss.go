@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ISS is a simple in-order instruction-set simulator used to validate that a
+// trace is value-consistent: every memory uop's recorded address matches the
+// address recomputed from register dataflow, every ALU uop's implied result
+// is well-defined, and every load that reads a previously stored stack
+// location observes the stored value.
+//
+// The core and the EMC both execute uops functionally during timing
+// simulation; the ISS is the program-order ground truth they must agree with.
+type ISS struct {
+	Regs [isa.NumArchRegs]uint64
+	// mem tracks stores to the stack (spill) region only — the one region
+	// where load/store aliasing is part of the trace contract. Tracking
+	// everything would grow without bound on streaming-store workloads.
+	mem map[uint64]uint64
+
+	Executed uint64
+}
+
+// NewISS returns an ISS with zeroed architectural state.
+func NewISS() *ISS {
+	return &ISS{mem: make(map[uint64]uint64)}
+}
+
+// inStack reports whether addr falls in the spill-slot region.
+func inStack(addr uint64) bool { return addr >= StackBase }
+
+// Step executes one uop, returning an error on any consistency violation.
+func (s *ISS) Step(u *isa.Uop) error {
+	src1, src2 := s.read(u.Src1), s.read(u.Src2)
+	switch u.Op.Class() {
+	case isa.ClassLoad:
+		if got := isa.AddrOf(u, src1); got != u.Addr {
+			return fmt.Errorf("uop %v: computed address %#x != recorded %#x", u, got, u.Addr)
+		}
+		if inStack(u.Addr) {
+			if v, ok := s.mem[u.Addr]; ok && v != u.Value {
+				return fmt.Errorf("uop %v: stack load value %#x != stored %#x", u, u.Value, v)
+			}
+		}
+		s.write(u.Dst, u.Value)
+	case isa.ClassStore:
+		if got := isa.AddrOf(u, src1); got != u.Addr {
+			return fmt.Errorf("uop %v: computed address %#x != recorded %#x", u, got, u.Addr)
+		}
+		if src2 != u.Value {
+			return fmt.Errorf("uop %v: store value %#x != source register %#x", u, u.Value, src2)
+		}
+		if inStack(u.Addr) {
+			s.mem[u.Addr] = u.Value
+		}
+	case isa.ClassBranch, isa.ClassNop:
+		// No architectural effect in the model.
+	default:
+		s.write(u.Dst, isa.EvalUop(u, src1, src2))
+	}
+	s.Executed++
+	return nil
+}
+
+func (s *ISS) read(r isa.Reg) uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return s.Regs[r]
+}
+
+func (s *ISS) write(r isa.Reg, v uint64) {
+	if r.Valid() {
+		s.Regs[r] = v
+	}
+}
+
+// Check runs the ISS over an entire reader, returning the first violation.
+func Check(r Reader) error {
+	s := NewISS()
+	for {
+		u, ok := r.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Step(&u); err != nil {
+			return err
+		}
+	}
+}

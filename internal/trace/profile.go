@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterizes the synthetic workload generator for one benchmark.
+// The numbers are calibrated so the generated uop streams reproduce the
+// characterization figures of the paper (Figs. 1, 2, 6): relative memory
+// intensity, the fraction of LLC misses that depend on a prior LLC miss, and
+// the length of the dependence chains between a source miss and its
+// dependent miss. They are deliberately behavioural, not a claim about the
+// real binaries.
+type Profile struct {
+	Name string
+
+	// MemIntensive mirrors the paper's Table 2 split (MPKI >= 10).
+	MemIntensive bool
+
+	// Instruction mix. MemFrac is the fraction of uops that are loads or
+	// stores; of those, StoreFrac are stores. Of the non-memory compute uops,
+	// FPFrac are floating-point/vector (not EMC-eligible) and the rest are
+	// integer ALU/multiply. BranchFrac is the fraction of all uops that are
+	// branches.
+	MemFrac    float64
+	StoreFrac  float64
+	FPFrac     float64
+	BranchFrac float64
+
+	// MispredictRate is the probability that a branch is marked mispredicted.
+	MispredictRate float64
+
+	// BranchOnLoad is the probability that a branch's condition register is
+	// a recently loaded value (a mispredicted load-dependent branch holds
+	// the front end until the load returns) rather than an ALU result.
+	BranchOnLoad float64
+
+	// Load target mix: where a (non-chase) load's address points. Shares are
+	// over all load episodes and need not be normalized; the generator
+	// normalizes them together with ChaseShare.
+	//   Hot    — small region that stays L1-resident (hits).
+	//   Warm   — region sized to live in the LLC (L1 misses, LLC hits).
+	//   Stream — sequential walk over a large region (LLC misses, high
+	//            row-buffer locality, easy prefetch).
+	//   Random — uniform over a large region (LLC misses, hard prefetch).
+	//   Chase  — pointer-chasing episodes (dependent LLC misses).
+	HotShare    float64
+	WarmShare   float64
+	StreamShare float64
+	RandomShare float64
+	ChaseShare  float64
+
+	// ChaseDepth is the [min,max] number of linked loads per chase episode;
+	// loads after the first are dependent misses. ChainALUOps is the [min,max]
+	// number of simple integer ops between one pointer load and the next
+	// (Fig. 6 of the paper measures 6–12 across benchmarks).
+	ChaseDepth  [2]int
+	ChainALUOps [2]int
+
+	// ChaseStreams is the number of CONCURRENT persistent traversals. Within
+	// a traversal every pointer load depends on the previous one — across the
+	// whole run, like a real linked-structure walk — so dependent misses in
+	// one stream cannot overlap each other; different streams provide the
+	// workload's residual memory-level parallelism. Few streams = the
+	// serialized regime the EMC attacks (mcf); 0 disables persistence
+	// (episodes start from fresh pointers).
+	ChaseStreams int
+
+	// SiblingLoadProb is the probability that a chase node also loads a
+	// second field from the same cache line (an EMC data-cache hit when the
+	// chain runs at the memory controller).
+	SiblingLoadProb float64
+
+	// ChaseHotProb is the probability that a chase step revisits a recently
+	// visited node instead of a fresh random one — the temporal locality
+	// that gives the EMC data cache its hit rate (paper Fig. 17) and chase
+	// loads their occasional on-chip hits.
+	ChaseHotProb float64
+
+	// ChaseRowLocalProb is the probability that the next chase node lives
+	// near the current one (same DRAM row neighbourhood) — the allocation
+	// locality of linked structures. It enables the paper's §6.3 effect: a
+	// dependent request issued promptly (by the EMC) hits the row its
+	// parent opened, while the same request issued ~100 cycles later from
+	// the core finds the row closed by competing traffic.
+	ChaseRowLocalProb float64
+
+	// Working-set sizes in bytes. These are scaled down relative to the real
+	// benchmarks, with cache sizes kept at Table-1 values, so the miss
+	// behaviour is preserved at tractable simulation lengths.
+	WarmWS   uint64
+	StreamWS uint64
+	RandomWS uint64
+	ChaseWS  uint64
+
+	// Streams is the number of concurrent sequential streams.
+	Streams int
+
+	// SpillRate is the expected number of register spill/fill pairs per 100
+	// uops. Spill stores are the only stores eligible for EMC chains.
+	SpillRate float64
+
+	// CodeFootprint approximates the active instruction bytes, used to drive
+	// the I-cache model.
+	CodeFootprint uint64
+}
+
+// common geometry defaults, used by the profile table below.
+const (
+	kib = 1024
+	mib = 1024 * 1024
+)
+
+// profiles is the SPEC CPU2006 suite, split per Table 2 of the paper.
+// High intensity (MPKI >= 10): omnetpp, milc, soplex, sphinx3, bwaves,
+// libquantum, lbm, mcf. The rest are low intensity.
+var profiles = map[string]Profile{
+	// ---- High memory intensity --------------------------------------------
+	"mcf": {
+		Name: "mcf", MemIntensive: true,
+		MemFrac: 0.21, StoreFrac: 0.18, FPFrac: 0.00, BranchFrac: 0.19, MispredictRate: 0.08, BranchOnLoad: 0.25,
+		HotShare: 0.30, WarmShare: 0.12, StreamShare: 0.04, RandomShare: 0.16, ChaseShare: 0.38,
+		ChaseDepth: [2]int{3, 6}, ChainALUOps: [2]int{4, 9}, SiblingLoadProb: 0.45, ChaseHotProb: 0.30, ChaseRowLocalProb: 0.45, ChaseStreams: 2,
+		WarmWS: 2 * mib, StreamWS: 8 * mib, RandomWS: 48 * mib, ChaseWS: 48 * mib,
+		Streams: 2, SpillRate: 1.2, CodeFootprint: 16 * kib,
+	},
+	"omnetpp": {
+		Name: "omnetpp", MemIntensive: true,
+		MemFrac: 0.27, StoreFrac: 0.30, FPFrac: 0.02, BranchFrac: 0.21, MispredictRate: 0.05, BranchOnLoad: 0.20,
+		HotShare: 0.44, WarmShare: 0.16, StreamShare: 0.06, RandomShare: 0.12, ChaseShare: 0.22,
+		ChaseDepth: [2]int{2, 4}, ChainALUOps: [2]int{6, 12}, SiblingLoadProb: 0.35, ChaseHotProb: 0.25, ChaseRowLocalProb: 0.40, ChaseStreams: 2,
+		WarmWS: 2 * mib, StreamWS: 8 * mib, RandomWS: 32 * mib, ChaseWS: 32 * mib,
+		Streams: 2, SpillRate: 1.6, CodeFootprint: 64 * kib,
+	},
+	"milc": {
+		Name: "milc", MemIntensive: true,
+		MemFrac: 0.37, StoreFrac: 0.22, FPFrac: 0.42, BranchFrac: 0.03, MispredictRate: 0.01, BranchOnLoad: 0.05,
+		HotShare: 0.38, WarmShare: 0.08, StreamShare: 0.34, RandomShare: 0.17, ChaseShare: 0.03,
+		ChaseDepth: [2]int{2, 2}, ChainALUOps: [2]int{5, 10}, SiblingLoadProb: 0.20, ChaseHotProb: 0.15, ChaseRowLocalProb: 0.25, ChaseStreams: 3,
+		WarmWS: 2 * mib, StreamWS: 32 * mib, RandomWS: 24 * mib, ChaseWS: 16 * mib,
+		Streams: 6, SpillRate: 0.5, CodeFootprint: 24 * kib,
+	},
+	"soplex": {
+		Name: "soplex", MemIntensive: true,
+		MemFrac: 0.34, StoreFrac: 0.15, FPFrac: 0.28, BranchFrac: 0.14, MispredictRate: 0.04, BranchOnLoad: 0.10,
+		HotShare: 0.40, WarmShare: 0.14, StreamShare: 0.22, RandomShare: 0.14, ChaseShare: 0.10,
+		ChaseDepth: [2]int{2, 3}, ChainALUOps: [2]int{5, 10}, SiblingLoadProb: 0.30, ChaseHotProb: 0.20, ChaseRowLocalProb: 0.35, ChaseStreams: 3,
+		WarmWS: 2 * mib, StreamWS: 24 * mib, RandomWS: 24 * mib, ChaseWS: 24 * mib,
+		Streams: 4, SpillRate: 1.0, CodeFootprint: 48 * kib,
+	},
+	"sphinx3": {
+		Name: "sphinx3", MemIntensive: true,
+		MemFrac: 0.32, StoreFrac: 0.08, FPFrac: 0.30, BranchFrac: 0.12, MispredictRate: 0.04, BranchOnLoad: 0.10,
+		HotShare: 0.46, WarmShare: 0.16, StreamShare: 0.20, RandomShare: 0.10, ChaseShare: 0.08,
+		ChaseDepth: [2]int{2, 3}, ChainALUOps: [2]int{6, 11}, SiblingLoadProb: 0.25, ChaseHotProb: 0.20, ChaseRowLocalProb: 0.35, ChaseStreams: 3,
+		WarmWS: 2 * mib, StreamWS: 24 * mib, RandomWS: 16 * mib, ChaseWS: 16 * mib,
+		Streams: 4, SpillRate: 0.8, CodeFootprint: 32 * kib,
+	},
+	"bwaves": {
+		Name: "bwaves", MemIntensive: true,
+		MemFrac: 0.40, StoreFrac: 0.12, FPFrac: 0.50, BranchFrac: 0.02, MispredictRate: 0.01, BranchOnLoad: 0.05,
+		HotShare: 0.34, WarmShare: 0.08, StreamShare: 0.48, RandomShare: 0.09, ChaseShare: 0.01,
+		ChaseDepth: [2]int{2, 2}, ChainALUOps: [2]int{6, 12}, SiblingLoadProb: 0.20, ChaseHotProb: 0.10, ChaseStreams: 2,
+		WarmWS: 2 * mib, StreamWS: 48 * mib, RandomWS: 16 * mib, ChaseWS: 8 * mib,
+		Streams: 8, SpillRate: 0.3, CodeFootprint: 16 * kib,
+	},
+	"libquantum": {
+		Name: "libquantum", MemIntensive: true,
+		MemFrac: 0.33, StoreFrac: 0.24, FPFrac: 0.02, BranchFrac: 0.26, MispredictRate: 0.01, BranchOnLoad: 0.05,
+		HotShare: 0.28, WarmShare: 0.02, StreamShare: 0.68, RandomShare: 0.02, ChaseShare: 0.00,
+		ChaseDepth: [2]int{2, 2}, ChainALUOps: [2]int{4, 8}, SiblingLoadProb: 0.0,
+		WarmWS: 1 * mib, StreamWS: 64 * mib, RandomWS: 8 * mib, ChaseWS: 8 * mib,
+		Streams: 1, SpillRate: 0.2, CodeFootprint: 8 * kib,
+	},
+	"lbm": {
+		Name: "lbm", MemIntensive: true,
+		MemFrac: 0.42, StoreFrac: 0.38, FPFrac: 0.46, BranchFrac: 0.01, MispredictRate: 0.01, BranchOnLoad: 0.05,
+		HotShare: 0.26, WarmShare: 0.04, StreamShare: 0.66, RandomShare: 0.04, ChaseShare: 0.00,
+		ChaseDepth: [2]int{2, 2}, ChainALUOps: [2]int{4, 8}, SiblingLoadProb: 0.0,
+		WarmWS: 1 * mib, StreamWS: 64 * mib, RandomWS: 8 * mib, ChaseWS: 8 * mib,
+		Streams: 8, SpillRate: 0.2, CodeFootprint: 8 * kib,
+	},
+
+	// ---- Low memory intensity ---------------------------------------------
+	"calculix":  lowIntensity("calculix", 0.24, 0.35, 0.05, 0.002),
+	"povray":    lowIntensity("povray", 0.28, 0.30, 0.13, 0.004),
+	"namd":      lowIntensity("namd", 0.30, 0.40, 0.04, 0.006),
+	"gamess":    lowIntensity("gamess", 0.30, 0.38, 0.08, 0.008),
+	"perlbench": lowIntensity("perlbench", 0.32, 0.04, 0.20, 0.02),
+	"tonto":     lowIntensity("tonto", 0.30, 0.36, 0.10, 0.02),
+	"gromacs":   lowIntensity("gromacs", 0.30, 0.34, 0.06, 0.03),
+	"gobmk":     lowIntensity("gobmk", 0.28, 0.02, 0.21, 0.04),
+	"dealII":    lowIntensity("dealII", 0.32, 0.28, 0.14, 0.05),
+	"sjeng":     lowIntensity("sjeng", 0.26, 0.01, 0.22, 0.06),
+	"gcc":       lowIntensity("gcc", 0.33, 0.03, 0.20, 0.09),
+	"hmmer":     lowIntensity("hmmer", 0.36, 0.06, 0.08, 0.10),
+	"h264ref":   lowIntensity("h264ref", 0.36, 0.10, 0.08, 0.12),
+	"bzip2":     lowIntensity("bzip2", 0.32, 0.02, 0.14, 0.16),
+	"astar":     lowIntensity("astar", 0.34, 0.04, 0.16, 0.22),
+	"xalancbmk": lowIntensity("xalancbmk", 0.34, 0.06, 0.20, 0.26),
+	"zeusmp":    lowIntensity("zeusmp", 0.34, 0.40, 0.04, 0.30),
+	"cactusADM": lowIntensity("cactusADM", 0.36, 0.42, 0.02, 0.34),
+	"wrf":       lowIntensity("wrf", 0.34, 0.40, 0.06, 0.36),
+	"GemsFDTD":  lowIntensity("GemsFDTD", 0.38, 0.44, 0.02, 0.48),
+	"leslie3d":  lowIntensity("leslie3d", 0.36, 0.44, 0.03, 0.56),
+}
+
+// lowIntensity builds a low-MPKI profile. missShare scales how much of the
+// load mix touches LLC-missing regions; the remainder stays cache-resident.
+func lowIntensity(name string, memFrac, fpFrac, branchFrac, missShare float64) Profile {
+	chase := missShare * 0.15
+	return Profile{
+		Name: name, MemIntensive: false,
+		MemFrac: memFrac, StoreFrac: 0.30, FPFrac: fpFrac,
+		BranchFrac: branchFrac, MispredictRate: 0.03, BranchOnLoad: 0.12,
+		HotShare:    0.80 - missShare,
+		WarmShare:   0.20,
+		StreamShare: missShare * 0.55,
+		RandomShare: missShare * 0.30,
+		ChaseShare:  chase,
+		ChaseDepth:  [2]int{2, 3}, ChainALUOps: [2]int{5, 10}, SiblingLoadProb: 0.25, ChaseHotProb: 0.20, ChaseRowLocalProb: 0.30, ChaseStreams: 2,
+		WarmWS: 1 * mib, StreamWS: 16 * mib, RandomWS: 16 * mib, ChaseWS: 16 * mib,
+		Streams: 2, SpillRate: 1.0, CodeFootprint: 32 * kib,
+	}
+}
+
+// HighIntensityNames lists the paper's high-MPKI benchmarks (Table 2) in the
+// order used by its figures.
+func HighIntensityNames() []string {
+	return []string{"omnetpp", "milc", "soplex", "sphinx3", "bwaves", "libquantum", "lbm", "mcf"}
+}
+
+// AllNames returns every profiled benchmark, sorted for determinism.
+func AllNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the profile for a SPEC benchmark name.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown benchmarks.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// loadShareTotal returns the sum of the load-mix shares, used by the
+// generator to normalize.
+func (p *Profile) loadShareTotal() float64 {
+	return p.HotShare + p.WarmShare + p.StreamShare + p.RandomShare + p.ChaseShare
+}
+
+// Validate reports configuration errors in a profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("trace: profile missing name")
+	}
+	if p.MemFrac <= 0 || p.MemFrac >= 1 {
+		return fmt.Errorf("trace: %s: MemFrac %v out of (0,1)", p.Name, p.MemFrac)
+	}
+	if p.loadShareTotal() <= 0 {
+		return fmt.Errorf("trace: %s: load shares sum to zero", p.Name)
+	}
+	for _, f := range []float64{p.StoreFrac, p.FPFrac, p.BranchFrac, p.MispredictRate, p.SiblingLoadProb} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("trace: %s: fraction %v out of [0,1]", p.Name, f)
+		}
+	}
+	if p.ChaseDepth[0] < 2 || p.ChaseDepth[1] < p.ChaseDepth[0] {
+		return fmt.Errorf("trace: %s: bad ChaseDepth %v", p.Name, p.ChaseDepth)
+	}
+	if p.ChainALUOps[0] < 1 || p.ChainALUOps[1] < p.ChainALUOps[0] {
+		return fmt.Errorf("trace: %s: bad ChainALUOps %v", p.Name, p.ChainALUOps)
+	}
+	if p.Streams < 1 && p.StreamShare > 0 {
+		return fmt.Errorf("trace: %s: StreamShare with no streams", p.Name)
+	}
+	return nil
+}
