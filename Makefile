@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race bench experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: build everything, run the full test suite, then the
+# race-enabled determinism suite over the simulator core.
+test: build
+	$(GO) test ./...
+	$(GO) test -race ./internal/sim/...
+
+race:
+	$(GO) test -race ./internal/sim/...
+
+# Microbenchmark smoke run: one iteration of every benchmark in the
+# simulator core, interconnect, and DRAM packages, captured as JSON so a
+# later session (or CI) can diff allocation and latency regressions.
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x -count=1 \
+		./internal/sim/ ./internal/interconnect/ ./internal/mem/dram/ \
+		| $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@echo wrote BENCH_sim.json
+
+experiments:
+	$(GO) run ./cmd/experiments -md results-run.md
+
+clean:
+	rm -f BENCH_sim.json results-run.md *.test *.prof

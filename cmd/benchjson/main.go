@@ -1,0 +1,56 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object on stdout, keyed by benchmark name with one entry per reported
+// metric (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+//
+//	go test -run xxx -bench . -benchtime=1x -count=1 ./internal/sim/ | benchjson > BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo so the run stays readable
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// fields: Name N  v1 unit1  v2 unit2 ...
+		name := strings.SplitN(fields[0], "-", 2)[0] // strip -GOMAXPROCS suffix
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m := map[string]float64{"iterations": iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	emcsim "repro"
 	"repro/internal/cpu"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -32,7 +33,16 @@ func main() {
 	hist := flag.Bool("hist", false, "print miss-latency histograms")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emcsim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	if *list {
 		fmt.Println("high intensity:", strings.Join(emcsim.HighIntensityBenchmarks(), " "))
@@ -69,6 +79,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "emcsim:", err)
+		stopProfiling()
 		os.Exit(1)
 	}
 

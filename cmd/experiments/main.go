@@ -12,25 +12,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/figures"
+	"repro/internal/profiling"
 )
 
 func main() {
 	n := flag.Uint64("n", 24000, "instructions per core (quad-core runs)")
 	n8 := flag.Uint64("n8", 12000, "instructions per core (eight-core runs)")
 	seed := flag.Uint64("seed", 1, "trace seed")
-	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	par := flag.Int("p", 0, "parallel simulations (deprecated alias for -parallel)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 	only := flag.String("only", "", "comma-separated figure ids (e.g. Fig12,Fig18); empty = all")
 	md := flag.String("md", "", "write a markdown report to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	opts := figures.DefaultOptions()
 	opts.InstrPerCore = *n
 	opts.InstrPerCore8 = *n8
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 	if *par > 0 {
 		opts.Parallel = *par
 	}
@@ -83,6 +95,7 @@ func main() {
 		tab, err := r.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			stopProfiling()
 			os.Exit(1)
 		}
 		fmt.Println(tab.String())
@@ -91,6 +104,7 @@ func main() {
 		report.WriteString("\n")
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	stopProfiling()
 
 	if *md != "" {
 		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {

@@ -157,6 +157,14 @@ type robEntry struct {
 	memBlocked bool // parked in the LSQ retry list
 	l1Counted  bool // this load already counted as an L1D miss (retries)
 
+	// blockStore memoizes the unresolved older store (ROB slot + dispatch
+	// seq) that parked this load, so retries skip the store-queue scan while
+	// that same store is still unresolved. -1 when the load is not
+	// store-blocked. The skipped scan prefix has no side effects, so this is
+	// purely an optimization — retry outcomes are bit-identical.
+	blockStore int32
+	blockSeq   uint64
+
 	// EMC state.
 	remote          bool // shipped to the EMC; do not issue locally
 	inChain         bool
@@ -167,6 +175,11 @@ type robEntry struct {
 }
 
 const eventHorizon = 256
+
+// NoEvent is the NextEvent sentinel: the core has no self-generated future
+// work and will only act again on external input (a fill, a chain completion,
+// an abort).
+const NoEvent = ^uint64(0)
 
 // Stats aggregates core-side counters.
 type Stats struct {
@@ -238,10 +251,12 @@ type Core struct {
 	readyQ  []int32
 
 	events    [eventHorizon][]int32
+	pendingEv int // scheduled-but-not-yet-drained completion events
 	lq, sq    []int32 // rob slots of in-flight loads/stores, program order
 	blockedLd []int32 // loads waiting on LSQ conditions or MSHR space
 
-	storeBuf []storeWrite
+	storeBuf  []storeWrite
+	storeHead int // consumed prefix of storeBuf (head-index pop)
 
 	fetchHold        int32 // rob slot of unresolved mispredicted branch, -1
 	fetchBlockedTill uint64
@@ -316,7 +331,7 @@ func (c *Core) L1D() *cache.Cache { return c.l1d }
 
 // Finished reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Finished() bool {
-	return c.done && c.robCount == 0 && len(c.storeBuf) == 0 && c.pendingFetch == nil
+	return c.done && c.robCount == 0 && len(c.storeBuf) == c.storeHead && c.pendingFetch == nil
 }
 
 func (c *Core) slot(i int32) *robEntry { return &c.rob[i] }
@@ -364,7 +379,7 @@ func (c *Core) retire() {
 		// Stores drain through the post-retirement store buffer; stall
 		// retirement if it is full.
 		if e.u.Op == isa.OpStore {
-			if len(c.storeBuf) >= c.cfg.StoreBuffer {
+			if len(c.storeBuf)-c.storeHead >= c.cfg.StoreBuffer {
 				return
 			}
 			c.storeBuf = append(c.storeBuf, storeWrite{lineAddr: cache.LineAddr(e.paddr), vaddr: e.vaddr})
@@ -385,7 +400,7 @@ func (c *Core) retire() {
 			c.sq = removeSlot(c.sq, idx)
 		}
 		e.state = stEmpty
-		e.consumers = nil
+		e.consumers = e.consumers[:0]
 		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 		c.robCount--
 		c.Stats.Retired++
@@ -432,12 +447,19 @@ func (c *Core) schedule(idx int32, at uint64) {
 		panic("cpu: completion scheduled beyond event horizon")
 	}
 	c.events[at%eventHorizon] = append(c.events[at%eventHorizon], idx)
+	c.pendingEv++
 }
 
 func (c *Core) complete() {
 	bucket := c.now % eventHorizon
 	list := c.events[bucket]
-	c.events[bucket] = nil
+	if len(list) == 0 {
+		return
+	}
+	// schedule() never targets the current cycle's bucket (at >= now+1 and
+	// at-now < eventHorizon), so reusing the backing array here is safe.
+	c.events[bucket] = list[:0]
+	c.pendingEv -= len(list)
 	for _, idx := range list {
 		e := c.slot(idx)
 		if e.state != stIssued {
@@ -468,7 +490,7 @@ func (c *Core) finish(idx int32, val uint64) {
 		}
 		c.maybeWake(cons)
 	}
-	e.consumers = nil
+	e.consumers = e.consumers[:0]
 }
 
 func (c *Core) maybeWake(idx int32) {
@@ -488,24 +510,39 @@ func (c *Core) maybeWake(idx int32) {
 // ---- Issue -------------------------------------------------------------------
 
 func (c *Core) issue() {
+	// Single compaction pass: entries that stay (mem-port-limited) are kept
+	// in order at the write cursor; issued, parked, and stale entries drop
+	// out. Scan order and the surviving queue order match the remove-in-place
+	// formulation exactly, without its O(n^2) element moves.
 	issued, memIssued := 0, 0
-	for i := 0; i < len(c.readyQ) && issued < c.cfg.IssueWidth; {
+	i, w := 0, 0
+	for i < len(c.readyQ) && issued < c.cfg.IssueWidth {
 		idx := c.readyQ[i]
+		i++
 		e := c.slot(idx)
-		if e.state != stReady {
-			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
-			continue
-		}
-		if e.remote {
-			// Shipped to the EMC: parked; completion arrives as a live-out.
-			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+		if e.state != stReady || e.remote {
+			// Stale, or shipped to the EMC (completion arrives as a live-out).
 			continue
 		}
 		if e.u.IsMem() && memIssued >= c.cfg.MemPorts {
-			i++
+			c.readyQ[w] = idx
+			w++
 			continue
 		}
-		c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+		if e.blockStore >= 0 {
+			// Load still blocked on the same unresolved older store: the
+			// issueOne attempt would park it again with no net state change
+			// (issuedAt and recomputed taint fields are unobservable until a
+			// successful issue), so re-park directly. rsCount is untouched —
+			// the attempt's decrement/increment pair cancels.
+			se := c.slot(e.blockStore)
+			if se.seq == e.blockSeq && storeUnresolved(se) {
+				e.memBlocked = true
+				c.blockedLd = append(c.blockedLd, idx)
+				continue
+			}
+			e.blockStore = -1
+		}
 		if c.issueOne(idx) {
 			issued++
 			if e.u.IsMem() {
@@ -513,6 +550,12 @@ func (c *Core) issue() {
 			}
 		}
 	}
+	for i < len(c.readyQ) {
+		c.readyQ[w] = c.readyQ[i]
+		w++
+		i++
+	}
+	c.readyQ = c.readyQ[:w]
 }
 
 // issueOne executes an entry. Returns false if it could not issue (parked).
@@ -671,7 +714,9 @@ func (c *Core) dispatchUop(u *isa.Uop) {
 	idx := c.robIndexAt(c.robCount)
 	c.robCount++
 	e := c.slot(idx)
-	*e = robEntry{u: *u, state: stWaiting, seq: c.nextSeq}
+	cons := e.consumers[:0]
+	*e = robEntry{u: *u, state: stWaiting, seq: c.nextSeq, blockStore: -1}
+	e.consumers = cons
 	c.nextSeq++
 	c.rsCount++
 
@@ -725,11 +770,15 @@ func (c *Core) dispatchUop(u *isa.Uop) {
 // ---- Store buffer -------------------------------------------------------------
 
 func (c *Core) drainStoreBuffer() {
-	if len(c.storeBuf) == 0 {
+	if len(c.storeBuf) == c.storeHead {
 		return
 	}
-	w := c.storeBuf[0]
-	c.storeBuf = c.storeBuf[1:]
+	w := c.storeBuf[c.storeHead]
+	c.storeHead++
+	if c.storeHead == len(c.storeBuf) {
+		c.storeBuf = c.storeBuf[:0]
+		c.storeHead = 0
+	}
 	// Write-through: update L1 if present (no allocate on miss).
 	if c.l1d.Probe(w.lineAddr << cache.LineShift) {
 		c.l1d.Access(w.lineAddr<<cache.LineShift, true)
@@ -784,6 +833,133 @@ func (c *Core) ShootdownTLB(vaddr uint64) {
 // either the ROB is full or the reservation station is exhausted (on a
 // dependence-heavy window the 92-entry RS fills well before the 256-entry
 // ROB; both block the front end identically).
+// NextEvent reports the earliest future cycle at which Tick can change
+// architectural or statistical state (beyond the bulk counters SkipIdle
+// credits). It is a lower bound: waking earlier is harmless because an idle
+// Tick is a pure no-op, waking later would be a bug.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.Finished() {
+		return NoEvent
+	}
+	// Queues the per-cycle stages drain unconditionally.
+	if len(c.storeBuf) > c.storeHead || len(c.readyQ) > 0 ||
+		len(c.blockedLd) > 0 || len(c.conflicted) > 0 {
+		return now + 1
+	}
+	head := c.slot(int32(c.robHead))
+	if c.robCount > 0 && head.state == stDone {
+		return now + 1 // retirement progresses
+	}
+	// Chain generation or a runahead episode would fire on the next Tick.
+	if c.cfg.EMCEnabled && len(c.chains) < c.cfg.MaxActiveChains &&
+		c.FullWindowStalled() && c.DepCounterHigh() && head.seq != c.lastChainAttempt {
+		return now + 1
+	}
+	if c.ra.Enabled && c.FullWindowStalled() && head.seq != c.lastRunahead {
+		return now + 1
+	}
+	h := NoEvent
+	if c.pendingEv > 0 {
+		for dt := uint64(1); dt < eventHorizon; dt++ {
+			if len(c.events[(now+dt)%eventHorizon]) > 0 {
+				h = now + dt
+				break
+			}
+		}
+	}
+	// Generated chains become transmittable (or cancellable) at ReadyAt.
+	for _, ch := range c.chains {
+		if ch.GeneratedAt != 0 {
+			continue
+		}
+		at := ch.ReadyAt
+		if at <= now {
+			at = now + 1
+		}
+		if at < h {
+			h = at
+		}
+	}
+	if d := c.dispatchHorizon(now); d < h {
+		h = d
+	}
+	return h
+}
+
+// dispatchHorizon is the front end's contribution to NextEvent: the cycle
+// fetch/dispatch next makes progress, or NoEvent when it is blocked on
+// something that is itself an event (branch resolution, retirement freeing
+// ROB/RS/LSQ space).
+func (c *Core) dispatchHorizon(now uint64) uint64 {
+	blockTill := c.fetchBlockedTill
+	if c.icFillAt > blockTill {
+		blockTill = c.icFillAt
+	}
+	if now < blockTill {
+		return blockTill // SkipIdle credits FetchStallCycles over the gap
+	}
+	if c.fetchHold >= 0 {
+		return NoEvent // waits for the mispredicted branch to issue
+	}
+	if c.robCount >= c.cfg.ROBSize || c.rsCount >= c.cfg.RSSize {
+		return NoEvent // unblocked by retire/issue
+	}
+	if u := c.pendingFetch; u != nil {
+		switch u.Op {
+		case isa.OpLoad:
+			if len(c.lq) >= c.cfg.LQSize {
+				return NoEvent
+			}
+		case isa.OpStore:
+			if len(c.sq) >= c.cfg.SQSize {
+				return NoEvent
+			}
+		}
+		return now + 1
+	}
+	if c.done {
+		return NoEvent
+	}
+	return now + 1
+}
+
+// SkipIdle credits delta skipped cycles' worth of the per-cycle counters an
+// idle Tick would have accumulated. It must only be called when
+// NextEvent(now) > now+delta for every component in the system: the skipped
+// Ticks are then pure no-ops apart from these counters.
+func (c *Core) SkipIdle(now, delta uint64) {
+	c.Stats.Cycles += delta
+	if c.robCount > 0 {
+		e := c.slot(int32(c.robHead))
+		if e.state != stDone {
+			if e.remote {
+				c.Stats.RemoteHeadStall += delta
+			}
+			if e.u.Op == isa.OpLoad && e.isLLCMiss && c.robCount == c.cfg.ROBSize {
+				c.Stats.FullWindowStalls += delta
+			}
+			if c.robCount == c.cfg.ROBSize {
+				c.Stats.ROBFullCycles += delta
+			}
+		}
+	}
+	blockTill := c.fetchBlockedTill
+	if c.icFillAt > blockTill {
+		blockTill = c.icFillAt
+	}
+	if now < blockTill || c.fetchHold >= 0 {
+		c.Stats.FetchStallCycles += delta
+	}
+	// Debug counters (not part of Stats) follow the same per-cycle paths.
+	if c.cfg.EMCEnabled {
+		if len(c.chains) >= c.cfg.MaxActiveChains {
+			c.DbgChainBusy += delta
+		} else if c.FullWindowStalled() && !c.DepCounterHigh() {
+			c.DbgCounterLow += delta
+		}
+	}
+}
+
 func (c *Core) FullWindowStalled() bool {
 	if c.robCount == 0 {
 		return false

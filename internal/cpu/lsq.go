@@ -13,6 +13,20 @@ func (c *Core) issueLoad(idx int32) bool {
 	e := c.slot(idx)
 	e.vaddr = isa.AddrOf(&e.u, e.srcVal[0])
 
+	// Fast retry path: if a previous attempt parked on an unresolved older
+	// store and that same store (slot+seq) is still unresolved, the scan
+	// below would stop at it again — park without rescanning. The skipped
+	// prefix only reads resolved older stores (no side effects), and stores
+	// never become unresolved again, so outcomes are identical.
+	if e.blockStore >= 0 {
+		se := c.slot(e.blockStore)
+		if se.seq == e.blockSeq && storeUnresolved(se) {
+			c.parkLoad(idx)
+			return false
+		}
+		e.blockStore = -1
+	}
+
 	// Memory ordering: scan older stores. An older store with an unresolved
 	// address blocks the load (conservative disambiguation); a resolved
 	// older store to the same dword forwards its data.
@@ -22,14 +36,12 @@ func (c *Core) issueLoad(idx int32) bool {
 		if se.seq >= e.seq {
 			break
 		}
-		if se.state == stWaiting || se.state == stReady || (se.state == stIssued && !se.addrValid) {
-			if se.remote {
-				// Stores executing at the EMC resolve via the address-ring
-				// message; until then they block younger loads like any
-				// unresolved store.
-				c.parkLoad(idx)
-				return false
-			}
+		if storeUnresolved(se) {
+			// Remote stores (executing at the EMC) resolve via the
+			// address-ring message; until then they block younger loads like
+			// any unresolved store.
+			e.blockStore = sIdx
+			e.blockSeq = se.seq
 			c.parkLoad(idx)
 			return false
 		}
@@ -124,6 +136,13 @@ func (c *Core) NoteLLCMiss(lineAddr uint64) {
 			c.bumpDepCounter(-1)
 		}
 	}
+}
+
+// storeUnresolved reports whether a store queue entry still has an unknown
+// address (it blocks younger loads under conservative disambiguation).
+func storeUnresolved(se *robEntry) bool {
+	return se.state == stWaiting || se.state == stReady ||
+		(se.state == stIssued && !se.addrValid)
 }
 
 // parkLoad returns a load to the blocked list; it re-enters the ready queue

@@ -388,6 +388,45 @@ func (e *EMC) abort(ci int, reason AbortReason, missPage uint64, now uint64) []A
 		Reason: reason, MissPage: missPage}}
 }
 
+// NoEvent is the NextEvent sentinel: no context can make progress until an
+// external event (chain install, trigger, or memory fill) arrives.
+const NoEvent = ^uint64(0)
+
+// NextEvent reports whether any triggered context could do work on the next
+// Tick. A context whose remaining uops are all pending memory fills (or
+// blocked on them) is quiescent: Tick mutates nothing until a FillMem,
+// trigger, or abort arrives, so those cycles may be skipped exactly.
+func (e *EMC) NextEvent(now uint64) uint64 {
+	for ci := range e.ctxs {
+		ctx := &e.ctxs[ci]
+		if !ctx.busy || !ctx.triggered || ctx.aborting {
+			continue
+		}
+		if ctx.chain.HasMispredict || ctx.state[0] != uDone {
+			return now + 1
+		}
+		allDone := true
+		visible := 0
+		for i := 1; i < len(ctx.chain.Uops); i++ {
+			if ctx.state[i] == uDone {
+				continue
+			}
+			allDone = false
+			visible++
+			if visible > e.cfg.RSSize {
+				break
+			}
+			if ctx.state[i] == uWaiting && e.ready(ctx, i) {
+				return now + 1 // an issue (or LSQ-full retry) happens next Tick
+			}
+		}
+		if allDone {
+			return now + 1 // finishChain fires next Tick
+		}
+	}
+	return NoEvent
+}
+
 // Tick advances EMC execution one cycle, returning the externally visible
 // actions (memory requests, LSQ messages, completions, aborts).
 func (e *EMC) Tick(now uint64) []Action {

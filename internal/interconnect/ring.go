@@ -45,6 +45,10 @@ type Stats struct {
 	Delivered    uint64
 }
 
+// NoEvent is the NextEvent sentinel: the component has no future work until
+// external input arrives.
+const NoEvent = ^uint64(0)
+
 // Ring is one bi-directional ring.
 type Ring struct {
 	name  string
@@ -53,9 +57,19 @@ type Ring struct {
 	nextID  uint64
 	flights []*flight
 	inboxes [][]*Message
+	// spare double-buffers each inbox so Deliver can hand out the filled
+	// buffer and install an empty one without allocating; queued tracks the
+	// total occupancy across inboxes (for NextEvent).
+	spare  [][]*Message
+	queued int
 
 	// linkBusy marks links used this cycle: index = dir*stops + fromStop.
 	linkBusy []bool
+
+	// Free lists. Messages are recycled only through Recycle, so callers
+	// that hold delivered Messages (tests, diagnostics) stay safe.
+	msgPool    []*Message
+	flightPool []*flight
 
 	Stats Stats
 }
@@ -75,8 +89,35 @@ func NewRing(name string, stops int) *Ring {
 		name:     name,
 		stops:    stops,
 		inboxes:  make([][]*Message, stops),
+		spare:    make([][]*Message, stops),
 		linkBusy: make([]bool, 2*stops),
 	}
+}
+
+func (r *Ring) allocMsg() *Message {
+	if n := len(r.msgPool); n > 0 {
+		m := r.msgPool[n-1]
+		r.msgPool = r.msgPool[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+func (r *Ring) allocFlight() *flight {
+	if n := len(r.flightPool); n > 0 {
+		f := r.flightPool[n-1]
+		r.flightPool = r.flightPool[:n-1]
+		return f
+	}
+	return &flight{}
+}
+
+// Recycle returns a delivered Message to the ring's free list. Callers that
+// retain delivered Messages simply never call it; only recycled objects are
+// reused.
+func (r *Ring) Recycle(m *Message) {
+	*m = Message{}
+	r.msgPool = append(r.msgPool, m)
 }
 
 // Stops returns the number of ring stops.
@@ -90,12 +131,14 @@ func (r *Ring) Name() string { return r.name }
 // pipeline latency, not the ring).
 func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 	r.nextID++
-	m := &Message{ID: r.nextID, Src: src, Dst: dst, Payload: payload, SentAt: now}
+	m := r.allocMsg()
+	m.ID, m.Src, m.Dst, m.Payload, m.SentAt, m.DeliveredAt = r.nextID, src, dst, payload, now, 0
 	r.Stats.Messages++
 	if src == dst {
 		m.DeliveredAt = now
 		r.Stats.Delivered++
 		r.inboxes[dst] = append(r.inboxes[dst], m)
+		r.queued++
 		return m
 	}
 	dir := +1
@@ -103,7 +146,9 @@ func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 	if fwd > r.stops-fwd {
 		dir = -1
 	}
-	r.flights = append(r.flights, &flight{msg: m, pos: src, dir: dir})
+	f := r.allocFlight()
+	f.msg, f.pos, f.dir = m, src, dir
+	r.flights = append(r.flights, f)
 	return m
 }
 
@@ -132,11 +177,24 @@ func (r *Ring) Tick(now uint64) {
 			r.Stats.TotalLatency += now - f.msg.SentAt
 			r.Stats.Delivered++
 			r.inboxes[f.pos] = append(r.inboxes[f.pos], f.msg)
+			r.queued++
+			f.msg = nil
+			r.flightPool = append(r.flightPool, f)
 		} else {
 			keep = append(keep, f)
 		}
 	}
 	r.flights = keep
+}
+
+// NextEvent reports the earliest future cycle at which the ring can change
+// state: the next cycle while anything is in flight or queued at a stop, or
+// NoEvent when the ring is completely drained.
+func (r *Ring) NextEvent(now uint64) uint64 {
+	if len(r.flights) > 0 || r.queued > 0 {
+		return now + 1
+	}
+	return NoEvent
 }
 
 func (r *Ring) linkIndex(from, dir int) int {
@@ -146,10 +204,22 @@ func (r *Ring) linkIndex(from, dir int) int {
 	return r.stops + from
 }
 
-// Deliver drains and returns the messages that have arrived at a stop.
+// Deliver drains and returns the messages that have arrived at a stop. The
+// returned slice is valid until the next Deliver for the same stop (the two
+// underlying buffers alternate); the Messages themselves stay valid until
+// recycled.
 func (r *Ring) Deliver(stop int) []*Message {
 	msgs := r.inboxes[stop]
-	r.inboxes[stop] = nil
+	if len(msgs) == 0 {
+		return nil
+	}
+	r.queued -= len(msgs)
+	if r.spare[stop] != nil {
+		r.inboxes[stop] = r.spare[stop][:0]
+	} else {
+		r.inboxes[stop] = nil
+	}
+	r.spare[stop] = msgs
 	return msgs
 }
 

@@ -1,0 +1,56 @@
+package dram
+
+import "testing"
+
+// BenchmarkControllerReadStream keeps the PAR-BS scheduler's read queue fed
+// (mixed row hits and conflicts across banks) and ticks the controller,
+// releasing completions back to the request pool. Steady state allocates
+// nothing per cycle. Injection is held at one request per 2xTBurst so the data
+// bus keeps up (the model queues bursts behind busFreeAt, so oversubscribing
+// it grows the in-flight list without bound).
+func BenchmarkControllerReadStream(b *testing.B) {
+	c := NewController(QuadCoreGeometry(), DDR3(), SchedBatch, 4)
+	var line, now uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		if now%8 == 0 && c.QueueOccupancy() < 32 {
+			r := c.NewRequest()
+			r.LineAddr = line * 17
+			r.CoreID = int(line % 4)
+			line++
+			if !c.Enqueue(r, now) {
+				c.Release(r)
+			}
+		}
+		for _, d := range c.Tick(now) {
+			c.Release(d)
+		}
+	}
+}
+
+// BenchmarkControllerMixed adds a write stream (drain-mode transitions) on
+// top of the read stream.
+func BenchmarkControllerMixed(b *testing.B) {
+	c := NewController(QuadCoreGeometry(), DDR3(), SchedFRFCFS, 4)
+	var line, now uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		if now%4 == 0 {
+			r := c.NewRequest()
+			r.LineAddr = line * 29
+			r.CoreID = int(line % 4)
+			r.Write = line%3 == 0
+			line++
+			if !c.Enqueue(r, now) {
+				c.Release(r)
+			}
+		}
+		for _, d := range c.Tick(now) {
+			c.Release(d)
+		}
+	}
+}

@@ -169,7 +169,102 @@ type Controller struct {
 	batchLive int   // marked requests not yet issued
 	coreRank  []int // lower = higher priority within batch
 
+	// Free list for pooled Requests and the reused completion buffer the
+	// Tick return value aliases (consumed before the next Tick).
+	reqPool []*Request
+	doneBuf []*Request
+
 	Stats Stats
+}
+
+// NoEvent is the NextEvent sentinel: no future work without new requests.
+const NoEvent = ^uint64(0)
+
+// NewRequest returns a zeroed Request from the controller's free list. The
+// caller fills it in and Enqueues it; reads come back from Tick and must be
+// handed back with Release, writes are recycled internally on completion.
+func (c *Controller) NewRequest() *Request {
+	if n := len(c.reqPool); n > 0 {
+		r := c.reqPool[n-1]
+		c.reqPool = c.reqPool[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Release returns a completed read Request to the free list.
+func (c *Controller) Release(r *Request) {
+	*r = Request{}
+	c.reqPool = append(c.reqPool, r)
+}
+
+// NextEvent returns a lower bound on the next cycle at which the controller
+// can change state: the next refresh deadline, the earliest bank-ready time
+// of a schedulable queued request, or the earliest read completion. It
+// returns now+1 whenever work is possible immediately, and NoEvent for a
+// fully drained controller. Skipping to (but not past) the returned cycle is
+// exact: every skipped Tick would have been a pure no-op.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	h := uint64(NoEvent)
+	// A fresh batch forms on the first Tick after the previous one drains;
+	// its membership depends on queue contents at that moment, so the tick
+	// must not be deferred.
+	if c.policy == SchedBatch && c.batchLive == 0 {
+		for i := range c.channels {
+			if len(c.channels[i].readQ) > 0 {
+				return now + 1
+			}
+		}
+	}
+	for i := range c.channels {
+		ch := &c.channels[i]
+		if c.timing.TREFI > 0 {
+			for _, d := range ch.nextRefresh {
+				if d <= now {
+					return now + 1
+				}
+				if d < h {
+					h = d
+				}
+			}
+		}
+		// Mirror issueOn's read/write selection: the non-selected queue
+		// cannot issue regardless of bank state, and the selection itself
+		// only changes on enqueues/issues (which are ticked events)...
+		useWrites := len(ch.writeQ) > 0 &&
+			(len(ch.readQ) == 0 || len(ch.writeQ) >= c.geo.WriteDrain || ch.draining)
+		// ...with one exception: whenever write mode is selected, issueOn
+		// refreshes the drain-hysteresis flag even if no write can issue. If
+		// that evaluation would flip the flag (and thereby re-enable reads),
+		// the next Tick is a state change and must not be skipped.
+		if useWrites && ch.draining != (len(ch.writeQ) > c.geo.WriteDrain/2) {
+			return now + 1
+		}
+		q := ch.readQ
+		if useWrites {
+			q = ch.writeQ
+		}
+		for _, r := range q {
+			t := ch.banks[r.rank*c.geo.Banks+r.bank].readyAt
+			if t <= now {
+				return now + 1
+			}
+			if t < h {
+				h = t
+			}
+		}
+	}
+	// Read completions wake the owner; write completions only compact the
+	// in-flight list, which is order-preserving whenever it happens.
+	for _, r := range c.inFlight {
+		if !r.Write && r.DoneAt < h {
+			h = r.DoneAt
+		}
+	}
+	if h <= now {
+		return now + 1
+	}
+	return h
 }
 
 // NewController builds a controller with the given geometry, timings,
@@ -266,19 +361,23 @@ func (c *Controller) Tick(now uint64) []*Request {
 		c.refresh(&c.channels[i], now)
 		c.issueOn(&c.channels[i], now)
 	}
-	// Collect completions.
-	var done []*Request
+	// Collect completions. The returned slice aliases a reused buffer; it is
+	// valid until the next Tick.
+	done := c.doneBuf[:0]
 	keep := c.inFlight[:0]
 	for _, r := range c.inFlight {
 		if r.DoneAt <= now {
 			if !r.Write {
 				done = append(done, r)
+			} else {
+				c.Release(r)
 			}
 		} else {
 			keep = append(keep, r)
 		}
 	}
 	c.inFlight = keep
+	c.doneBuf = done
 	return done
 }
 

@@ -1,0 +1,49 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flag pair
+// into a command. Both cmd/experiments and cmd/emcsim use it so profiles can
+// be captured from exactly the binaries used for real runs.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a stop
+// function that finishes the CPU profile and writes a heap profile (if
+// memPath is non-empty). Call the stop function exactly once, at the end of
+// the run; it must not be deferred past os.Exit.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

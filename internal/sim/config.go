@@ -71,6 +71,11 @@ type Config struct {
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
 
+	// DisableCycleSkip turns off the event-horizon scheduler, ticking every
+	// cycle. Results are bit-identical either way (see
+	// TestCycleSkipDeterminism); this exists for that guard and for debugging.
+	DisableCycleSkip bool
+
 	EMCCfg emc.Config
 
 	// CoreTweak optionally adjusts each core's configuration (ablations).

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// skipWorkloads are the configurations the event-horizon scheduler is proven
+// against: the paper's homogeneous 4x mcf point, a high-memory-intensity
+// heterogeneous mix, and variants exercising the EMC, prefetching, and
+// runahead (each adds its own wake-up sources the horizon must respect).
+var skipWorkloads = []struct {
+	name       string
+	benchmarks []string
+	tweak      func(*Config)
+}{
+	{"mcf-x4", []string{"mcf", "mcf", "mcf", "mcf"}, nil},
+	{"mcf-x4-emc", []string{"mcf", "mcf", "mcf", "mcf"},
+		func(c *Config) { c.EMCEnabled = true }},
+	{"hmix-emc-ghb", []string{"mcf", "lbm", "milc", "omnetpp"},
+		func(c *Config) {
+			c.EMCEnabled = true
+			c.Prefetcher = PFGHB
+		}},
+	{"hmix-runahead-stream", []string{"omnetpp", "milc", "soplex", "libquantum"},
+		func(c *Config) {
+			c.RunaheadEnabled = true
+			c.Prefetcher = PFStream
+		}},
+}
+
+func skipCfg(benchmarks []string, seed uint64) Config {
+	cfg := Default(benchmarks)
+	cfg.InstrPerCore = 3000
+	cfg.MaxCycles = 5_000_000
+	cfg.Seed = seed
+	return cfg
+}
+
+// runHashed runs one configuration to completion and returns the Result hash
+// plus the number of cycles the scheduler fast-forwarded over.
+func runHashed(t *testing.T, cfg Config) (hash uint64, cycles, skipped uint64) {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Hash(), r.Cycles, sys.SkippedCycles()
+}
+
+// TestCycleSkipDeterminism is the correctness guard for cycle skipping: for
+// every workload x seed, a run with the event-horizon scheduler enabled must
+// produce a Result bit-identical (same FNV hash over every stat) to a run
+// that ticks every cycle. It also proves the scheduler actually skips — a
+// vacuous pass with zero skipped cycles is a failure.
+func TestCycleSkipDeterminism(t *testing.T) {
+	seeds := []uint64{1, 7, 42}
+	for _, w := range skipWorkloads {
+		for _, seed := range seeds {
+			w, seed := w, seed
+			t.Run(fmt.Sprintf("%s/seed%d", w.name, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := skipCfg(w.benchmarks, seed)
+				if w.tweak != nil {
+					w.tweak(&cfg)
+				}
+
+				cfg.DisableCycleSkip = false
+				fastHash, fastCycles, skipped := runHashed(t, cfg)
+
+				cfg.DisableCycleSkip = true
+				slowHash, slowCycles, noSkip := runHashed(t, cfg)
+
+				if noSkip != 0 {
+					t.Fatalf("DisableCycleSkip run skipped %d cycles", noSkip)
+				}
+				if fastCycles != slowCycles {
+					t.Fatalf("cycle counts diverge: skip-on %d, skip-off %d",
+						fastCycles, slowCycles)
+				}
+				if fastHash != slowHash {
+					t.Fatalf("result hashes diverge: skip-on %#x, skip-off %#x",
+						fastHash, slowHash)
+				}
+				if skipped == 0 {
+					t.Fatalf("scheduler never skipped a cycle over %d total", fastCycles)
+				}
+				t.Logf("cycles=%d skipped=%d (%.1f%%)", fastCycles, skipped,
+					100*float64(skipped)/float64(fastCycles))
+			})
+		}
+	}
+}
+
+// TestConcurrentSystemsIndependent runs several Systems concurrently to
+// verify that the per-System/per-Ring/per-Controller free lists introduce no
+// shared state (this test is the main -race target for the pooling work).
+func TestConcurrentSystemsIndependent(t *testing.T) {
+	cfg := skipCfg([]string{"mcf", "lbm", "milc", "omnetpp"}, 3)
+	cfg.EMCEnabled = true
+	cfg.Prefetcher = PFGHB
+	want, _, _ := runHashed(t, cfg)
+
+	const runs = 4
+	hashes := make([]uint64, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys, err := New(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r, err := sys.Run()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hashes[i] = r.Hash()
+		}(i)
+	}
+	wg.Wait()
+	for i, h := range hashes {
+		if h != want {
+			t.Errorf("concurrent run %d hash %#x differs from serial %#x", i, h, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sigOf(s *System) string {
+	sig := fmt.Sprintf("st=%+v", s.st)
+	for i, c := range s.cores {
+		sig += fmt.Sprintf("|c%d=%+v", i, c.Stats)
+	}
+	for i, mc := range s.mcs {
+		sig += fmt.Sprintf("|mc%d=%+v q=%d", i, mc.ctrl.Stats, mc.ctrl.QueueOccupancy())
+	}
+	sig += fmt.Sprintf("|ring=%+v/%+v", s.ctrl.Stats, s.data.Stats)
+	return sig
+}
+
+// frozenSig is sigOf minus the per-cycle stall counters that SkipIdle credits
+// in bulk (those legitimately advance every ticked cycle inside a skip
+// window). Everything else must stay constant across skipped cycles.
+func frozenSig(s *System) string {
+	st := s.st
+	st.Cycles = 0
+	sig := fmt.Sprintf("st=%+v", st)
+	for i, c := range s.cores {
+		cs := c.Stats
+		cs.Cycles = 0
+		cs.FetchStallCycles = 0
+		cs.ROBFullCycles = 0
+		cs.FullWindowStalls = 0
+		cs.RemoteHeadStall = 0
+		sig += fmt.Sprintf("|c%d=%+v", i, cs)
+	}
+	for i, mc := range s.mcs {
+		sig += fmt.Sprintf("|mc%d=%+v q=%d", i, mc.ctrl.Stats, mc.ctrl.QueueOccupancy())
+	}
+	sig += fmt.Sprintf("|ring=%+v/%+v", s.ctrl.Stats, s.data.Stats)
+	return sig
+}
+
+// TestCycleSkipLockstep runs a skip-enabled System and an every-cycle System
+// side by side and, for every skip window, single-steps the reference system
+// through the window verifying that no component changed state at any skipped
+// cycle (per-cycle stall counters excepted — SkipIdle credits those in bulk).
+// This localizes a missed wake-up to the exact cycle and component, where
+// TestCycleSkipDeterminism only detects that one exists.
+func TestCycleSkipLockstep(t *testing.T) {
+	cfg := skipCfg([]string{"mcf", "lbm", "milc", "omnetpp"}, 1)
+	cfg.EMCEnabled = true
+	cfg.Prefetcher = PFGHB
+
+	cfgA := cfg
+	cfgA.DisableCycleSkip = false
+	cfgB := cfg
+	cfgB.DisableCycleSkip = true
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := func(s *System) bool {
+		for _, c := range s.cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+	for !finished(a) && a.now < 200000 {
+		prev := a.now
+		sig0 := frozenSig(b)
+		a.Step()
+		for b.now < a.now-1 {
+			b.Step()
+			if s := frozenSig(b); s != sig0 {
+				t.Fatalf("missed event: A skipped %d -> %d, but B changed state at cycle %d\nbefore: %s\nafter:  %s",
+					prev, a.now, b.now, sig0, s)
+			}
+		}
+		for b.now < a.now {
+			b.Step()
+		}
+		sa, sb := sigOf(a), sigOf(b)
+		if sa != sb {
+			t.Fatalf("diverged at cycle %d (prev %d)\nA: %s\nB: %s", a.now, prev, sa, sb)
+		}
+	}
+	t.Logf("no divergence through cycle %d", a.now)
+}

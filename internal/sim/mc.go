@@ -15,16 +15,15 @@ func (s *System) mcAdmit(mc *mcNode, r *memReq) {
 		s.mcAttach(p, r)
 		return
 	}
-	p := &mcPending{line: r.line}
+	p := s.allocPending(r.line)
 	s.mcAttach(p, r)
 	mc.pending[r.line] = p
-	dr := &dram.Request{
-		LineAddr: s.mcLine(r.line),
-		CoreID:   r.core,
-		FromEMC:  r.fromEMC,
-		Prefetch: r.prefetch,
-		Payload:  p,
-	}
+	dr := mc.ctrl.NewRequest()
+	dr.LineAddr = s.mcLine(r.line)
+	dr.CoreID = r.core
+	dr.FromEMC = r.fromEMC
+	dr.Prefetch = r.prefetch
+	dr.Payload = p
 	if !mc.ctrl.Enqueue(dr, s.now) {
 		mc.retryQ = append(mc.retryQ, dr)
 	}
@@ -45,7 +44,10 @@ func (s *System) mcAttach(p *mcPending, r *memReq) {
 
 // mcWrite admits a DRAM write (write-through store miss or LLC writeback).
 func (s *System) mcWrite(mc *mcNode, r *memReq) {
-	dr := &dram.Request{LineAddr: s.mcLine(r.line), Write: true, CoreID: -1}
+	dr := mc.ctrl.NewRequest()
+	dr.LineAddr = s.mcLine(r.line)
+	dr.Write = true
+	dr.CoreID = -1
 	if !mc.ctrl.Enqueue(dr, s.now) {
 		mc.retryQ = append(mc.retryQ, dr)
 	}
@@ -54,16 +56,22 @@ func (s *System) mcWrite(mc *mcNode, r *memReq) {
 // mcTick advances one controller: queue retries, DRAM, completions, EMC.
 func (s *System) mcTick(mc *mcNode) {
 	// Retry rejected enqueues in order.
-	for len(mc.retryQ) > 0 {
-		dr := mc.retryQ[0]
+	for mc.retryHead < len(mc.retryQ) {
+		dr := mc.retryQ[mc.retryHead]
 		if !mc.ctrl.Enqueue(dr, s.now) {
 			break
 		}
-		mc.retryQ = mc.retryQ[1:]
+		mc.retryQ[mc.retryHead] = nil
+		mc.retryHead++
+	}
+	if mc.retryHead == len(mc.retryQ) && mc.retryHead > 0 {
+		mc.retryQ = mc.retryQ[:0]
+		mc.retryHead = 0
 	}
 
 	for _, done := range mc.ctrl.Tick(s.now) {
 		s.mcComplete(mc, done)
+		mc.ctrl.Release(done)
 	}
 
 	if mc.emc != nil {
@@ -132,27 +140,31 @@ func (s *System) mcComplete(mc *mcNode, dr *dram.Request) {
 				stamp(r)
 			}
 		} else {
-			lead = &memReq{line: p.line, core: dr.CoreID, prefetch: true, issuedAt: s.now}
+			lead = s.allocReq()
+			lead.line, lead.core, lead.prefetch, lead.issuedAt = p.line, dr.CoreID, true, s.now
 			stamp(lead)
 		}
-		s.data.Send(mc.stop, s.sliceOf(p.line).stop, &msg{kind: mFillToSlice, req: lead}, s.now)
+		s.sendData(mc.stop, s.sliceOf(p.line).stop, msg{kind: mFillToSlice, req: lead})
 	} else if dr.FromEMC {
 		// EMC-only fill still installs in the LLC (demand semantics).
-		fill := &memReq{line: p.line, core: dr.CoreID, fromEMC: true, emcMC: mc.id, issuedAt: s.now}
+		fill := s.allocReq()
+		fill.line, fill.core, fill.fromEMC, fill.emcMC, fill.issuedAt = p.line, dr.CoreID, true, mc.id, s.now
 		stamp(fill)
-		s.data.Send(mc.stop, s.sliceOf(p.line).stop, &msg{kind: mFillToSlice, req: fill}, s.now)
+		s.sendData(mc.stop, s.sliceOf(p.line).stop, msg{kind: mFillToSlice, req: fill})
 	}
 
 	// Local EMC waiters.
 	for _, r := range p.emcReqs {
 		stamp(r)
 		s.emcFill(mc, r)
+		s.freeReq(r)
 	}
 	// Cross-MC EMC waiters: data rides the ring back to the owning EMC.
 	for _, r := range p.cross {
 		stamp(r)
-		s.data.Send(mc.stop, s.mcs[r.emcMC].stop, &msg{kind: mCrossData, req: r}, s.now)
+		s.sendData(mc.stop, s.mcs[r.emcMC].stop, msg{kind: mCrossData, req: r})
 	}
+	s.freePending(p)
 }
 
 // emcFill completes an EMC memory request and accounts its latency (Fig. 18).
@@ -216,9 +228,9 @@ func (s *System) emcActions(mc *mcNode, acts []emc.Action) {
 		case emc.ActDRAMRequest:
 			s.emcLineRequest(mc, a, true)
 		case emc.ActMemExecuted:
-			s.ctrl.Send(mc.stop, s.coreStop[a.Core],
-				&msg{kind: mMemExec, chain: a.Chain, uopIdx: a.UopIdx, vaddr: a.VAddr,
-					core: a.Core, mc: mc.id}, s.now)
+			s.sendCtrl(mc.stop, s.coreStop[a.Core],
+				msg{kind: mMemExec, chain: a.Chain, uopIdx: a.UopIdx, vaddr: a.VAddr,
+					core: a.Core, mc: mc.id})
 		case emc.ActChainDone:
 			flits := (len(a.Values)*8 + 63) / 64
 			if flits < 1 {
@@ -226,15 +238,15 @@ func (s *System) emcActions(mc *mcNode, acts []emc.Action) {
 			}
 			// Only the last flit carries the completion.
 			for f := 0; f < flits-1; f++ {
-				s.data.Send(mc.stop, s.coreStop[a.Core],
-					&msg{kind: mChainDone, chain: a.Chain, values: nil, core: a.Core, mc: mc.id}, s.now)
+				s.sendData(mc.stop, s.coreStop[a.Core],
+					msg{kind: mChainDone, chain: a.Chain, values: nil, core: a.Core, mc: mc.id})
 			}
-			s.data.Send(mc.stop, s.coreStop[a.Core],
-				&msg{kind: mChainDone, chain: a.Chain, values: a.Values, core: a.Core, mc: mc.id}, s.now)
+			s.sendData(mc.stop, s.coreStop[a.Core],
+				msg{kind: mChainDone, chain: a.Chain, values: a.Values, core: a.Core, mc: mc.id})
 		case emc.ActChainAbort:
-			s.ctrl.Send(mc.stop, s.coreStop[a.Core],
-				&msg{kind: mChainAbort, chain: a.Chain, reason: a.Reason,
-					vaddr: a.MissPage, core: a.Core, mc: mc.id}, s.now)
+			s.sendCtrl(mc.stop, s.coreStop[a.Core],
+				msg{kind: mChainAbort, chain: a.Chain, reason: a.Reason,
+					vaddr: a.MissPage, core: a.Core, mc: mc.id})
 		}
 	}
 }
@@ -244,10 +256,9 @@ func (s *System) emcActions(mc *mcNode, acts []emc.Action) {
 // safety net for the direct path.
 func (s *System) emcLineRequest(mc *mcNode, a emc.Action, direct bool) {
 	line := cache.LineAddr(a.PAddr)
-	r := &memReq{
-		line: line, core: a.Core, pc: a.PC, vaddr: a.VAddr,
-		fromEMC: true, emcMC: mc.id, issuedAt: s.now,
-	}
+	r := s.allocReq()
+	r.line, r.core, r.pc, r.vaddr = line, a.Core, a.PC, a.VAddr
+	r.fromEMC, r.emcMC, r.issuedAt = true, mc.id, s.now
 	if direct {
 		// Off-critical-path directory probe: a line present in the LLC must
 		// be served from there (it may be dirty); counts as a mispredict.
@@ -259,7 +270,7 @@ func (s *System) emcLineRequest(mc *mcNode, a emc.Action, direct bool) {
 	}
 	if !direct {
 		sl := s.sliceOf(line)
-		s.ctrl.Send(mc.stop, sl.stop, &msg{kind: mEMCLLCReq, req: r}, s.now)
+		s.sendCtrl(mc.stop, sl.stop, msg{kind: mEMCLLCReq, req: r})
 		return
 	}
 	owner := s.mcOf(line)
@@ -269,5 +280,5 @@ func (s *System) emcLineRequest(mc *mcNode, a emc.Action, direct bool) {
 	}
 	// Cross-channel dependency: issue directly to the other controller
 	// without bouncing through the core (§4.4).
-	s.ctrl.Send(mc.stop, owner.stop, &msg{kind: mCrossReq, req: r, mc: owner.id}, s.now)
+	s.sendCtrl(mc.stop, owner.stop, msg{kind: mCrossReq, req: r, mc: owner.id})
 }

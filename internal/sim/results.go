@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"repro/internal/cpu"
 	"repro/internal/emc"
 	"repro/internal/energy"
@@ -38,6 +41,20 @@ type Result struct {
 	PrefetchUseful uint64
 
 	Energy energy.Breakdown
+}
+
+// Hash returns an FNV-1a digest over every simulation outcome in the Result
+// (all fields except Config, which carries function values). Two runs of the
+// same configuration must produce the same hash regardless of whether the
+// event-horizon scheduler skipped cycles — this is the determinism guard
+// cycle skipping is tested against.
+func (r *Result) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%+v|%+v|%+v|%+v|%d %d %d %d|%d %d|%+v",
+		r.Cycles, r.Cores, r.Sys, r.DRAM, r.EMC,
+		r.CtrlRingMsgs, r.DataRingMsgs, r.CtrlRingHops, r.DataRingHops,
+		r.PrefetchIssued, r.PrefetchUseful, r.Energy)
+	return h.Sum64()
 }
 
 // AvgIPC returns the arithmetic mean IPC over cores.

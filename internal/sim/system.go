@@ -36,6 +36,12 @@ type memReq struct {
 
 	llcMiss bool
 	ideal   bool // served by the ideal-dependent-hit mode
+
+	// refs counts terminal deliveries this request still expects before it
+	// can return to the pool. Almost always 1; an LLC-path EMC request that
+	// launches a fill sits in both the slice's outstanding map and the MC's
+	// pending entry and receives two fills (see sliceLookup).
+	refs int8
 }
 
 type msgKind uint8
@@ -90,8 +96,13 @@ type sliceEvent struct {
 type llcSlice struct {
 	id, stop int
 	c        *cache.Cache
-	lookupQ  []sliceEvent
-	fillQ    []sliceEvent
+	// lookupQ/fillQ are time-sorted (constant per-kind latency, monotone
+	// enqueue times); lkHead/flHead index the consumed prefix so draining
+	// never reallocates.
+	lookupQ []sliceEvent
+	fillQ   []sliceEvent
+	lkHead  int
+	flHead  int
 	// outstanding merges requests per line while a fill is in flight.
 	outstanding map[uint64]*lineWaiters
 }
@@ -108,12 +119,13 @@ type mcPending struct {
 }
 
 type mcNode struct {
-	id, stop int
-	ctrl     *dram.Controller
-	emc      *emc.EMC
-	pending  map[uint64]*mcPending
-	retryQ   []*dram.Request
-	magicQ   []*cpu.Chain // MagicChains diagnostic mode
+	id, stop  int
+	ctrl      *dram.Controller
+	emc       *emc.EMC
+	pending   map[uint64]*mcPending
+	retryQ    []*dram.Request
+	retryHead int // consumed prefix of retryQ
+	magicQ    []*cpu.Chain // MagicChains diagnostic mode
 }
 
 // RunStats aggregates system-level counters (see results.go for derived
@@ -186,10 +198,104 @@ type System struct {
 	coreStop []int
 	mcStop   []int
 
-	now uint64
-	st  RunStats
+	now     uint64
+	skipped uint64 // cycles fast-forwarded by the event-horizon scheduler
+	st      RunStats
 
 	activeChains map[*cpu.Chain]int // chain -> MC hosting it
+
+	// Free lists for the hot-path objects (per System: figure suites run
+	// Systems concurrently, so no shared pools).
+	msgPool  []*msg
+	reqPool  []*memReq
+	pendPool []*mcPending
+	waitPool []*lineWaiters
+}
+
+const noEvent = ^uint64(0)
+
+// ---- Object pools -------------------------------------------------------------
+
+func (s *System) allocMsg() *msg {
+	if n := len(s.msgPool); n > 0 {
+		m := s.msgPool[n-1]
+		s.msgPool = s.msgPool[:n-1]
+		return m
+	}
+	return &msg{}
+}
+
+// freeMsg recycles a delivered message. Pooling invariant: handle() must
+// never retain a *msg past its return — only the payload pointers it carries.
+func (s *System) freeMsg(m *msg) {
+	*m = msg{}
+	s.msgPool = append(s.msgPool, m)
+}
+
+// sendCtrl/sendData copy proto into a pooled msg and inject it.
+func (s *System) sendCtrl(src, dst int, proto msg) {
+	m := s.allocMsg()
+	*m = proto
+	s.ctrl.Send(src, dst, m, s.now)
+}
+
+func (s *System) sendData(src, dst int, proto msg) {
+	m := s.allocMsg()
+	*m = proto
+	s.data.Send(src, dst, m, s.now)
+}
+
+func (s *System) allocReq() *memReq {
+	if n := len(s.reqPool); n > 0 {
+		r := s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		r.refs = 1
+		return r
+	}
+	return &memReq{refs: 1}
+}
+
+// freeReq drops one reference; the request returns to the pool when the last
+// expected delivery has consumed it.
+func (s *System) freeReq(r *memReq) {
+	if r.refs > 1 {
+		r.refs--
+		return
+	}
+	*r = memReq{}
+	s.reqPool = append(s.reqPool, r)
+}
+
+func (s *System) allocWaiters(r *memReq) *lineWaiters {
+	if n := len(s.waitPool); n > 0 {
+		w := s.waitPool[n-1]
+		s.waitPool = s.waitPool[:n-1]
+		w.reqs = append(w.reqs, r)
+		return w
+	}
+	return &lineWaiters{reqs: []*memReq{r}}
+}
+
+func (s *System) freeWaiters(w *lineWaiters) {
+	w.reqs = w.reqs[:0]
+	s.waitPool = append(s.waitPool, w)
+}
+
+func (s *System) allocPending(line uint64) *mcPending {
+	if n := len(s.pendPool); n > 0 {
+		p := s.pendPool[n-1]
+		s.pendPool = s.pendPool[:n-1]
+		p.line = line
+		return p
+	}
+	return &mcPending{line: line}
+}
+
+func (s *System) freePending(p *mcPending) {
+	p.reqs = p.reqs[:0]
+	p.emcReqs = p.emcReqs[:0]
+	p.cross = p.cross[:0]
+	s.pendPool = append(s.pendPool, p)
 }
 
 // coreShim adapts a core id to the cpu.Uncore interface.
@@ -329,18 +435,18 @@ func (s *System) mcLine(line uint64) uint64 { return line / uint64(len(s.mcs)) }
 // ---- Core-side callbacks -----------------------------------------------------
 
 func (s *System) coreLoadMiss(m *cpu.MissInfo) {
-	r := &memReq{
-		line: m.LineAddr, core: m.CoreID, pc: m.PC, vaddr: m.VAddr,
-		dependent: m.Dependent, prefetch: m.Prefetch, issuedAt: m.IssuedAt,
-	}
+	r := s.allocReq()
+	r.line, r.core, r.pc, r.vaddr = m.LineAddr, m.CoreID, m.PC, m.VAddr
+	r.dependent, r.prefetch, r.issuedAt = m.Dependent, m.Prefetch, m.IssuedAt
 	sl := s.sliceOf(r.line)
-	s.ctrl.Send(s.coreStop[m.CoreID], sl.stop, &msg{kind: mReqToSlice, req: r}, s.now)
+	s.sendCtrl(s.coreStop[m.CoreID], sl.stop, msg{kind: mReqToSlice, req: r})
 }
 
 func (s *System) coreStore(coreID int, lineAddr, vaddr uint64) {
-	r := &memReq{line: lineAddr, core: coreID, vaddr: vaddr, issuedAt: s.now}
+	r := s.allocReq()
+	r.line, r.core, r.vaddr, r.issuedAt = lineAddr, coreID, vaddr, s.now
 	sl := s.sliceOf(lineAddr)
-	s.data.Send(s.coreStop[coreID], sl.stop, &msg{kind: mStore, req: r}, s.now)
+	s.sendData(s.coreStop[coreID], sl.stop, msg{kind: mStore, req: r})
 }
 
 // ---- Main loop -----------------------------------------------------------------
@@ -391,19 +497,115 @@ func (s *System) Shootdown(core int, vaddr uint64) {
 // Now returns the current cycle.
 func (s *System) Now() uint64 { return s.now }
 
+// SkippedCycles reports how many cycles the event-horizon scheduler has
+// fast-forwarded so far (diagnostic; not part of Result).
+func (s *System) SkippedCycles() uint64 { return s.skipped }
+
+// horizon returns the earliest future cycle at which any component can do
+// work, min'd over every NextEvent. Short-circuits on now+1 (nothing to
+// skip), the common case under load.
+func (s *System) horizon() uint64 {
+	now := s.now
+	h := s.ctrl.NextEvent(now)
+	if h <= now+1 {
+		return h
+	}
+	if d := s.data.NextEvent(now); d < h {
+		return d // rings report either now+1 or NoEvent
+	}
+	for _, sl := range s.slices {
+		if d := s.sliceNext(sl, now); d < h {
+			h = d
+			if h <= now+1 {
+				return h
+			}
+		}
+	}
+	for _, mc := range s.mcs {
+		if mc.retryHead < len(mc.retryQ) {
+			// A pending retry re-attempts Enqueue every Tick; even a failed
+			// attempt mutates controller state (request IDs, QueueFull).
+			return now + 1
+		}
+		if d := mc.ctrl.NextEvent(now); d < h {
+			h = d
+		}
+		if mc.emc != nil {
+			if d := mc.emc.NextEvent(now); d < h {
+				h = d
+			}
+		}
+		if h <= now+1 {
+			return h
+		}
+	}
+	for _, c := range s.cores {
+		if d := c.NextEvent(now); d < h {
+			h = d
+			if h <= now+1 {
+				return h
+			}
+		}
+	}
+	return h
+}
+
+func (s *System) sliceNext(sl *llcSlice, now uint64) uint64 {
+	h := uint64(noEvent)
+	if sl.lkHead < len(sl.lookupQ) {
+		h = sl.lookupQ[sl.lkHead].at
+	}
+	if sl.flHead < len(sl.fillQ) && sl.fillQ[sl.flHead].at < h {
+		h = sl.fillQ[sl.flHead].at
+	}
+	if h <= now {
+		return now + 1
+	}
+	return h
+}
+
 func (s *System) step() {
+	// Event-horizon fast-forward: when every component agrees the next
+	// state change is at cycle h > now+1, the Ticks in between are pure
+	// no-ops — jump to h-1 and credit the cores' per-cycle stall counters.
+	if !s.cfg.DisableCycleSkip {
+		if h := s.horizon(); h > s.now+1 {
+			target := h - 1
+			if target > s.cfg.MaxCycles {
+				target = s.cfg.MaxCycles
+			}
+			if target > s.now {
+				delta := target - s.now
+				for _, c := range s.cores {
+					if !c.Finished() {
+						c.SkipIdle(s.now, delta)
+					}
+				}
+				s.skipped += delta
+				s.now = target
+			}
+		}
+	}
+
 	s.now++
 	s.st.Cycles = s.now
 
-	// 1. Interconnect: advance and deliver.
+	// 1. Interconnect: advance and deliver. Delivered ring Messages and
+	// their *msg payloads are recycled here; handle() must not retain them.
 	s.ctrl.Tick(s.now)
 	s.data.Tick(s.now)
 	for stop := 0; stop < s.ctrl.Stops(); stop++ {
-		for _, m := range s.ctrl.Deliver(stop) {
-			s.handle(stop, m.Payload.(*msg))
+		for _, dm := range s.ctrl.Deliver(stop) {
+			m := dm.Payload.(*msg)
+			s.ctrl.Recycle(dm)
+			s.handle(stop, m)
+			s.freeMsg(m)
 		}
-		for _, m := range s.data.Deliver(stop) {
-			s.handle(stop, m.Payload.(*msg))
+		for _, dm := range s.data.Deliver(stop) {
+			m := dm.Payload.(*msg)
+			s.data.Recycle(dm)
+			s.handle(stop, m)
+			s.freeMsg(m)
 		}
 	}
 
@@ -432,8 +634,8 @@ func (s *System) step() {
 			}
 			for _, ch := range c.TakeConflictedChains() {
 				if mcID, ok := s.activeChains[ch]; ok {
-					s.ctrl.Send(s.coreStop[i], s.mcs[mcID].stop,
-						&msg{kind: mConflictAbort, chain: ch, mc: mcID}, s.now)
+					s.sendCtrl(s.coreStop[i], s.mcs[mcID].stop,
+						msg{kind: mConflictAbort, chain: ch, mc: mcID})
 				} else {
 					c.AbortRemoteChain(ch)
 				}
@@ -456,7 +658,7 @@ func (s *System) shipChain(core int, ch *cpu.Chain) {
 	xfer := &chainTransfer{chain: ch, pending: flits}
 	s.st.ChainFlits += uint64(flits)
 	for f := 0; f < flits; f++ {
-		s.data.Send(s.coreStop[core], mc.stop, &msg{kind: mChainFlit, chain: ch, xfer: xfer, mc: mc.id}, s.now)
+		s.sendData(s.coreStop[core], mc.stop, msg{kind: mChainFlit, chain: ch, xfer: xfer, mc: mc.id})
 	}
 }
 
@@ -469,6 +671,7 @@ func (s *System) handle(stop int, m *msg) {
 		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
 	case mHitData, mFillToCore:
 		s.deliverFill(m.req)
+		s.freeReq(m.req)
 	case mReqToMC:
 		s.mcAdmit(s.mcOf(m.req.line), m.req)
 	case mFillToSlice:
@@ -478,6 +681,7 @@ func (s *System) handle(stop int, m *msg) {
 		s.sliceStore(m.req)
 	case mWriteback:
 		s.mcWrite(s.mcOf(m.req.line), m.req)
+		s.freeReq(m.req)
 	case mL1Inval:
 		s.st.L1Invals++
 		core := s.cores[m.core]
@@ -505,16 +709,16 @@ func (s *System) handle(stop int, m *msg) {
 			// The core responds with the missing translation so the next
 			// chain touching this page succeeds.
 			pte := s.pts[m.core].Lookup(m.vaddr)
-			s.ctrl.Send(s.coreStop[m.core], s.mcs[m.mc].stop,
-				&msg{kind: mPTEInstall, core: m.core, mc: m.mc, vaddr: m.vaddr}, s.now)
+			s.sendCtrl(s.coreStop[m.core], s.mcs[m.mc].stop,
+				msg{kind: mPTEInstall, core: m.core, mc: m.mc, vaddr: m.vaddr})
 			_ = pte
 		}
 	case mMemExec:
 		robIdx := m.chain.Uops[m.uopIdx].RobIdx
 		conflict := s.cores[m.core].RemoteMemExecuted(robIdx, m.vaddr)
 		if conflict {
-			s.ctrl.Send(s.coreStop[m.core], s.mcs[m.mc].stop,
-				&msg{kind: mConflictAbort, chain: m.chain, mc: m.mc}, s.now)
+			s.sendCtrl(s.coreStop[m.core], s.mcs[m.mc].stop,
+				msg{kind: mConflictAbort, chain: m.chain, mc: m.mc})
 		}
 	case mConflictAbort:
 		mc := s.mcs[m.mc]
@@ -533,11 +737,13 @@ func (s *System) handle(stop int, m *msg) {
 		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
 	case mEMCLLCData:
 		s.emcFill(s.mcs[m.req.emcMC], m.req)
+		s.freeReq(m.req)
 	case mCrossReq:
 		s.st.CrossMCRequests++
 		s.mcAdmit(s.mcs[m.mc], m.req)
 	case mCrossData:
 		s.emcFill(s.mcs[m.req.emcMC], m.req)
+		s.freeReq(m.req)
 	}
 }
 
@@ -574,15 +780,25 @@ func (s *System) deliverFill(r *memReq) {
 // ---- LLC slice behaviour --------------------------------------------------------
 
 func (s *System) sliceTick(sl *llcSlice) {
-	for len(sl.lookupQ) > 0 && sl.lookupQ[0].at <= s.now {
-		ev := sl.lookupQ[0]
-		sl.lookupQ = sl.lookupQ[1:]
-		s.sliceLookup(sl, ev.req)
+	for sl.lkHead < len(sl.lookupQ) && sl.lookupQ[sl.lkHead].at <= s.now {
+		req := sl.lookupQ[sl.lkHead].req
+		sl.lookupQ[sl.lkHead] = sliceEvent{}
+		sl.lkHead++
+		s.sliceLookup(sl, req)
 	}
-	for len(sl.fillQ) > 0 && sl.fillQ[0].at <= s.now {
-		ev := sl.fillQ[0]
-		sl.fillQ = sl.fillQ[1:]
-		s.sliceFill(sl, ev.req)
+	if sl.lkHead == len(sl.lookupQ) && sl.lkHead > 0 {
+		sl.lookupQ = sl.lookupQ[:0]
+		sl.lkHead = 0
+	}
+	for sl.flHead < len(sl.fillQ) && sl.fillQ[sl.flHead].at <= s.now {
+		req := sl.fillQ[sl.flHead].req
+		sl.fillQ[sl.flHead] = sliceEvent{}
+		sl.flHead++
+		s.sliceFill(sl, req)
+	}
+	if sl.flHead == len(sl.fillQ) && sl.flHead > 0 {
+		sl.fillQ = sl.fillQ[:0]
+		sl.flHead = 0
 	}
 }
 
@@ -606,7 +822,8 @@ func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 	if hit {
 		s.st.LLCHits++
 		if r.prefetch {
-			return // runahead prefetch found the line already on chip
+			s.freeReq(r) // runahead prefetch found the line already on chip
+			return
 		}
 		if sl.c.TakePrefetched(addr) {
 			s.pfs[r.core].RecordUseful()
@@ -620,9 +837,9 @@ func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 		}
 		if r.fromEMC {
 			s.st.EMCLLCHits++
-			s.data.Send(sl.stop, s.mcs[r.emcMC].stop, &msg{kind: mEMCLLCData, req: r}, s.now)
+			s.sendData(sl.stop, s.mcs[r.emcMC].stop, msg{kind: mEMCLLCData, req: r})
 		} else {
-			s.data.Send(sl.stop, s.coreStop[r.core], &msg{kind: mHitData, req: r}, s.now)
+			s.sendData(sl.stop, s.coreStop[r.core], msg{kind: mHitData, req: r})
 		}
 		return
 	}
@@ -636,8 +853,8 @@ func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 			w.reqs = append(w.reqs, r)
 			return
 		}
-		sl.outstanding[r.line] = &lineWaiters{reqs: []*memReq{r}}
-		s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+		sl.outstanding[r.line] = s.allocWaiters(r)
+		s.sendCtrl(sl.stop, s.mcOf(r.line).stop, msg{kind: mReqToMC, req: r})
 		return
 	}
 	if !r.fromEMC {
@@ -649,7 +866,7 @@ func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 		if s.cfg.IdealDependentHits && r.dependent {
 			s.st.IdealDepHits++
 			r.ideal = true
-			s.data.Send(sl.stop, s.coreStop[r.core], &msg{kind: mHitData, req: r}, s.now)
+			s.sendData(sl.stop, s.coreStop[r.core], msg{kind: mHitData, req: r})
 			return
 		}
 		// Train the prefetcher on the miss and issue its proposals.
@@ -660,8 +877,14 @@ func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 		w.reqs = append(w.reqs, r)
 		return
 	}
-	sl.outstanding[r.line] = &lineWaiters{reqs: []*memReq{r}}
-	s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+	sl.outstanding[r.line] = s.allocWaiters(r)
+	if r.fromEMC {
+		// The launcher lands in both this slice's outstanding set and the
+		// MC's pending entry, and is filled through both: once directly at
+		// the EMC, once via the slice's mEMCLLCData forward.
+		r.refs++
+	}
+	s.sendCtrl(sl.stop, s.mcOf(r.line).stop, msg{kind: mReqToMC, req: r})
 }
 
 // trainPrefetch feeds the per-core prefetcher and launches its proposals
@@ -685,9 +908,10 @@ func (s *System) issuePrefetch(core int, line uint64) {
 	if _, ok := sl.outstanding[line]; ok {
 		return
 	}
-	r := &memReq{line: line, core: core, prefetch: true, issuedAt: s.now}
-	sl.outstanding[line] = &lineWaiters{reqs: []*memReq{r}}
-	s.ctrl.Send(sl.stop, s.mcOf(line).stop, &msg{kind: mReqToMC, req: r}, s.now)
+	r := s.allocReq()
+	r.line, r.core, r.prefetch, r.issuedAt = line, core, true, s.now
+	sl.outstanding[line] = s.allocWaiters(r)
+	s.sendCtrl(sl.stop, s.mcOf(line).stop, msg{kind: mReqToMC, req: r})
 }
 
 // sliceFill inserts a filled line, maintains the inclusive directory, and
@@ -708,10 +932,15 @@ func (s *System) sliceFill(sl *llcSlice, r *memReq) {
 	w := sl.outstanding[r.line]
 	delete(sl.outstanding, r.line)
 	if w == nil {
+		s.freeReq(r) // EMC-only fill with no slice waiters
 		return
 	}
+	fwdSelf := false
 	for _, wr := range w.reqs {
 		if wr.prefetch {
+			if wr != r {
+				s.freeReq(wr) // prefetch waiters terminate here
+			}
 			continue
 		}
 		// Copy fill timing onto merged waiters.
@@ -719,11 +948,18 @@ func (s *System) sliceFill(sl *llcSlice, r *memReq) {
 			wr.dramDone, wr.dramIssued, wr.mcArrive = r.dramDone, r.dramIssued, r.mcArrive
 			wr.llcMiss = true
 		}
-		if wr.fromEMC {
-			s.data.Send(sl.stop, s.mcs[wr.emcMC].stop, &msg{kind: mEMCLLCData, req: wr}, s.now)
-		} else {
-			s.data.Send(sl.stop, s.coreStop[wr.core], &msg{kind: mFillToCore, req: wr}, s.now)
+		if wr == r {
+			fwdSelf = true
 		}
+		if wr.fromEMC {
+			s.sendData(sl.stop, s.mcs[wr.emcMC].stop, msg{kind: mEMCLLCData, req: wr})
+		} else {
+			s.sendData(sl.stop, s.coreStop[wr.core], msg{kind: mFillToCore, req: wr})
+		}
+	}
+	s.freeWaiters(w)
+	if !fwdSelf {
+		s.freeReq(r) // fresh or prefetch lead: not forwarded anywhere
 	}
 }
 
@@ -732,19 +968,20 @@ func (s *System) sliceFill(sl *llcSlice, r *memReq) {
 func (s *System) evictVictim(sl *llcSlice, v cache.Victim) {
 	for core := 0; core < len(s.cores); core++ {
 		if v.Presence&(1<<uint(core)) != 0 {
-			s.ctrl.Send(sl.stop, s.coreStop[core], &msg{kind: mL1Inval, core: core, line: v.LineAddr}, s.now)
+			s.sendCtrl(sl.stop, s.coreStop[core], msg{kind: mL1Inval, core: core, line: v.LineAddr})
 		}
 	}
 	if v.EMC {
 		for _, mc := range s.mcs {
 			if mc.emc != nil {
-				s.ctrl.Send(sl.stop, mc.stop, &msg{kind: mEMCInval, mc: mc.id, line: v.LineAddr}, s.now)
+				s.sendCtrl(sl.stop, mc.stop, msg{kind: mEMCInval, mc: mc.id, line: v.LineAddr})
 			}
 		}
 	}
 	if v.Dirty {
-		wb := &memReq{line: v.LineAddr, core: -1, issuedAt: s.now}
-		s.data.Send(sl.stop, s.mcOf(v.LineAddr).stop, &msg{kind: mWriteback, req: wb}, s.now)
+		wb := s.allocReq()
+		wb.line, wb.core, wb.issuedAt = v.LineAddr, -1, s.now
+		s.sendData(sl.stop, s.mcOf(v.LineAddr).stop, msg{kind: mWriteback, req: wb})
 	}
 }
 
@@ -758,12 +995,13 @@ func (s *System) sliceStore(r *memReq) {
 			sl.c.SetEMCBit(addr, false)
 			for _, mc := range s.mcs {
 				if mc.emc != nil {
-					s.ctrl.Send(sl.stop, mc.stop, &msg{kind: mEMCInval, mc: mc.id, line: r.line}, s.now)
+					s.sendCtrl(sl.stop, mc.stop, msg{kind: mEMCInval, mc: mc.id, line: r.line})
 				}
 			}
 		}
+		s.freeReq(r)
 		return
 	}
 	// Miss: no allocate; the write goes to DRAM.
-	s.ctrl.Send(sl.stop, s.mcOf(r.line).stop, &msg{kind: mWriteback, req: r}, s.now)
+	s.sendCtrl(sl.stop, s.mcOf(r.line).stop, msg{kind: mWriteback, req: r})
 }
