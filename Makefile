@@ -1,20 +1,31 @@
 GO ?= go
 
-.PHONY: all build test race bench experiments clean
+.PHONY: all build vet test race bench experiments trace-smoke clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Tier-1 gate: build everything, run the full test suite, then the
-# race-enabled determinism suite over the simulator core.
-test: build
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: build everything, vet, run the full test suite, the
+# race-enabled determinism suite over the simulator core, and the
+# observability end-to-end smoke.
+test: build vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/sim/...
+	$(MAKE) trace-smoke
 
 race:
 	$(GO) test -race ./internal/sim/...
+
+# End-to-end observability smoke: run a tiny traced workload with the debug
+# server up, validate the Chrome trace against the schema, and scrape
+# /metrics once (see scripts/trace_smoke.sh).
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh
 
 # Microbenchmark smoke run: one iteration of every benchmark in the
 # simulator core, interconnect, and DRAM packages, captured as JSON so a
@@ -30,3 +41,4 @@ experiments:
 
 clean:
 	rm -f BENCH_sim.json results-run.md *.test *.prof
+	rm -rf .smoke

@@ -47,6 +47,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if len(out) == 0 {
+		// An upstream failure (build error, -run filter eating everything)
+		// must not silently produce an empty baseline file.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin (expected `go test -bench` output)")
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	emcsim "repro"
+	"repro/internal/obs"
 )
 
 // jsonResult is the stable machine-readable shape emitted by -json: derived
@@ -29,6 +30,44 @@ type jsonResult struct {
 	EnergyTotalJ float64 `json:"energyTotalJ"`
 	EnergyChipJ  float64 `json:"energyChipJ"`
 	EnergyDRAMJ  float64 `json:"energyDRAMJ"`
+
+	Obs *jsonObs `json:"obs,omitempty"`
+}
+
+// jsonObs summarizes lifecycle tracing: sampling, volume, and the per-source
+// latency attribution (average cycles per miss by component).
+type jsonObs struct {
+	SampleEvery uint64 `json:"sampleEvery"`
+	Records     uint64 `json:"records"`
+	Events      uint64 `json:"events"`
+
+	Core *jsonAttr `json:"core,omitempty"`
+	EMC  *jsonAttr `json:"emc,omitempty"`
+}
+
+type jsonAttr struct {
+	Count      uint64             `json:"count"`
+	MeanTotal  float64            `json:"meanTotal"`
+	MeanOnChip float64            `json:"meanOnChip"`
+	MeanMemory float64            `json:"meanMemory"`
+	Components map[string]float64 `json:"components"`
+}
+
+func attrJSON(a *obs.SourceAttr) *jsonAttr {
+	if a.Count == 0 {
+		return nil
+	}
+	out := &jsonAttr{
+		Count:      a.Count,
+		MeanTotal:  a.MeanTotal(),
+		MeanOnChip: float64(a.OnChipSum()) / float64(a.Count),
+		MeanMemory: float64(a.MemSum()) / float64(a.Count),
+		Components: map[string]float64{},
+	}
+	for c := obs.Component(0); c < obs.NumComponents; c++ {
+		out.Components[c.String()] = a.MeanComp(c)
+	}
+	return out
 }
 
 type jsonCore struct {
@@ -74,6 +113,15 @@ func resultJSON(r *emcsim.Result) jsonResult {
 			ChainsGenerated: c.Stats.ChainsGenerated,
 			ChainsAborted:   c.Stats.ChainAborts,
 		})
+	}
+	if r.Obs != nil {
+		out.Obs = &jsonObs{
+			SampleEvery: r.Obs.SampleEvery,
+			Records:     r.Obs.Finished,
+			Events:      r.Obs.Events,
+			Core:        attrJSON(&r.Obs.Attr.Core),
+			EMC:         attrJSON(&r.Obs.Attr.EMC),
+		}
 	}
 	return out
 }

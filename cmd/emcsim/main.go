@@ -6,6 +6,8 @@
 //	emcsim -bench mcf,sphinx3,soplex,libquantum -emc -n 50000
 //	emcsim -bench mcf,mcf,mcf,mcf -pf ghb -emc
 //	emcsim -bench mcf,mcf,mcf,mcf,mcf,mcf,mcf,mcf -mcs 2 -emc
+//	emcsim -emc -trace trace.json            # lifecycle trace (Perfetto)
+//	emcsim -emc -http 127.0.0.1:0 -http-linger 30s   # live /metrics
 package main
 
 import (
@@ -14,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	emcsim "repro"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -33,6 +37,13 @@ func main() {
 	hist := flag.Bool("hist", false, "print miss-latency histograms")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of sampled request lifecycles to this file")
+	traceSample := flag.Uint64("trace-sample", 1, "trace one in N memory requests (deterministic)")
+	attr := flag.Bool("attr", false, "collect and print the latency-attribution breakdown (implied by -trace)")
+	counters := flag.String("counters", "", "write an interval counter time series (JSON) to this file")
+	countersInterval := flag.Uint64("counters-interval", 10000, "counter sampling interval in cycles")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
+	httpLinger := flag.Duration("http-linger", 0, "keep the -http server up this long after the run finishes")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -74,13 +85,65 @@ func main() {
 		}
 	}
 
-	res, err := emcsim.Run(cfg, emcsim.Workload{
+	if *traceOut != "" || *attr {
+		cfg.Obs = obs.Config{Enabled: true, SampleEvery: *traceSample, Retain: *traceOut != ""}
+	}
+	if *counters != "" {
+		cfg.CounterInterval = *countersInterval
+	}
+	var srv *obs.Server
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		cfg.MetricsLabels = map[string]string{"run": *bench}
+		srv, err = obs.StartServer(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emcsim:", err)
+			stopProfiling()
+			os.Exit(1)
+		}
+		defer srv.Close()
+		// The bound address line is parsed by scripts (make trace-smoke);
+		// keep its shape stable.
+		fmt.Printf("debug server listening on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
+	sys, err := emcsim.NewSystem(cfg, emcsim.Workload{
 		Name: "cli", Benchmarks: benchmarks, InstrPerCore: *n, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "emcsim:", err)
 		stopProfiling()
 		os.Exit(1)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emcsim:", err)
+		stopProfiling()
+		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		exp := &obs.ChromeExport{}
+		exp.Add(*bench, sys.Tracer())
+		if err := exp.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "emcsim: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *traceOut, len(sys.Tracer().Records()))
+	}
+	if *counters != "" {
+		if err := sys.CounterLog().WriteFile(*counters); err != nil {
+			fmt.Fprintln(os.Stderr, "emcsim: write counters:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *counters)
+	}
+	linger := func() {
+		if srv != nil && *httpLinger > 0 {
+			fmt.Printf("lingering %s for debug-server scrapes\n", *httpLinger)
+			time.Sleep(*httpLinger)
+		}
 	}
 
 	if *jsonOut {
@@ -90,6 +153,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "emcsim:", err)
 			os.Exit(1)
 		}
+		linger()
 		return
 	}
 
@@ -127,6 +191,9 @@ func main() {
 	}
 	e := res.Energy
 	fmt.Printf("energy: total=%.3g J (chip %.3g, dram %.3g)\n", e.Total(), e.Chip(), e.DRAMStatic+e.DRAMDynamic)
+	if res.Obs != nil {
+		fmt.Printf("\n%s", res.Obs.Table())
+	}
 	if *hist {
 		fmt.Printf("\ncore-miss latency: %s\n  density: [%s]\n",
 			res.Sys.CoreMissHist.String(), res.Sys.CoreMissHist.Bar(48))
@@ -135,4 +202,5 @@ func main() {
 				res.Sys.EMCMissHist.String(), res.Sys.EMCMissHist.Bar(48))
 		}
 	}
+	linger()
 }

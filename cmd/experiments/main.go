@@ -6,6 +6,8 @@
 //	experiments -n 100000          # longer runs (closer to the paper's scale)
 //	experiments -only Fig12,Fig18  # a subset
 //	experiments -md results.md     # also write a markdown report
+//	experiments -only Obs -trace t.json   # lifecycle traces (Perfetto)
+//	experiments -http 127.0.0.1:8080      # live /metrics while the suite runs
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -28,6 +31,9 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 	only := flag.String("only", "", "comma-separated figure ids (e.g. Fig12,Fig18); empty = all")
 	md := flag.String("md", "", "write a markdown report to this file")
+	traceOut := flag.String("trace", "", "write a merged Chrome trace_event JSON of every run to this file")
+	traceSample := flag.Uint64("trace-sample", 64, "with -trace, trace one in N requests per run")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -45,6 +51,20 @@ func main() {
 	opts.Parallel = *parallel
 	if *par > 0 {
 		opts.Parallel = *par
+	}
+	if *traceOut != "" {
+		opts.Trace = obs.Config{Enabled: true, SampleEvery: *traceSample, Retain: true}
+	}
+	var srv *obs.Server
+	if *httpAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		srv, err = obs.StartServer(*httpAddr, opts.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 	suite := figures.NewSuite(opts)
 
@@ -72,6 +92,7 @@ func main() {
 		{"Fig24", suite.Fig24},
 		{"ExtRA", suite.ExtRunahead},
 		{"WS", suite.WeightedSpeedup},
+		{"Obs", suite.FigObs},
 	}
 
 	want := map[string]bool{}
@@ -105,6 +126,14 @@ func main() {
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 	stopProfiling()
+
+	if *traceOut != "" {
+		if err := suite.TraceExport().WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d runs)\n", *traceOut, suite.TraceExport().Runs())
+	}
 
 	if *md != "" {
 		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {

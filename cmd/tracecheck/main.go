@@ -1,0 +1,205 @@
+// Command tracecheck validates a Chrome trace_event JSON file of the shape
+// emcsim and experiments emit (-trace): the "JSON Object Format" with a
+// traceEvents array of metadata (M) and async nestable (b/n/e) events. It is
+// the schema gate behind make trace-smoke.
+//
+//	tracecheck trace.json
+//	tracecheck -metrics-url http://127.0.0.1:8080/metrics trace.json
+//	tracecheck -counters counters.json trace.json
+//
+// Exit status is non-zero on any schema violation (missing fields, unknown
+// phases, unbalanced b/e pairs, non-monotonic timestamps within a record).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	ID   string          `json:"id"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	metricsURL := flag.String("metrics-url", "", "also fetch this /metrics endpoint and require emcsim_ gauges")
+	countersPath := flag.String("counters", "", "also validate this interval counter log (emcsim -counters output)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics-url URL] [-counters FILE] trace.json")
+		os.Exit(2)
+	}
+	if err := checkTrace(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	if *metricsURL != "" {
+		if err := checkMetrics(*metricsURL); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+	}
+	if *countersPath != "" {
+		if err := checkCounters(*countersPath); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+	// Track open async spans per (pid, cat, id) — Chrome's nestable-event
+	// matching key — and per-span timestamp monotonicity.
+	type spanKey struct {
+		pid int
+		cat string
+		id  string
+	}
+	open := map[spanKey]float64{}
+	var spans, steps int
+	for i, ev := range tf.TraceEvents {
+		at := func(msg string, args ...any) error {
+			return fmt.Errorf("%s: event %d (%s %q): %s", path, i, ev.Ph, ev.Name, fmt.Sprintf(msg, args...))
+		}
+		if ev.Pid == nil {
+			return at("missing pid")
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return at("unknown metadata name")
+			}
+			if len(ev.Args) == 0 {
+				return at("metadata without args")
+			}
+		case "b", "n", "e":
+			if ev.Ts == nil || ev.Tid == nil || ev.ID == "" {
+				return at("async event missing ts/tid/id")
+			}
+			k := spanKey{*ev.Pid, ev.Cat, ev.ID}
+			switch ev.Ph {
+			case "b":
+				if _, ok := open[k]; ok {
+					return at("duplicate begin for id %s", ev.ID)
+				}
+				if ev.Name == "" {
+					return at("begin without name")
+				}
+				open[k] = *ev.Ts
+				spans++
+			case "n", "e":
+				last, ok := open[k]
+				if !ok {
+					return at("%s without begin for id %s", ev.Ph, ev.ID)
+				}
+				if *ev.Ts < last {
+					return at("timestamp moved backwards (%v < %v)", *ev.Ts, last)
+				}
+				open[k] = *ev.Ts
+				if ev.Ph == "e" {
+					delete(open, k)
+				} else {
+					steps++
+				}
+			}
+		default:
+			return at("unknown phase")
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("%s: %d async spans never ended", path, len(open))
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no request spans", path)
+	}
+	fmt.Printf("%s: ok (%d events, %d request spans, %d stage steps)\n",
+		path, len(tf.TraceEvents), spans, steps)
+	return nil
+}
+
+func checkMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	var gauges int
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "emcsim_") {
+			gauges++
+		}
+	}
+	if gauges == 0 {
+		return fmt.Errorf("%s: no emcsim_ metrics in response", url)
+	}
+	fmt.Printf("%s: ok (%d emcsim_ metric lines)\n", url, gauges)
+	return nil
+}
+
+func checkCounters(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var log struct {
+		Interval uint64   `json:"intervalCycles"`
+		Names    []string `json:"names"`
+		Samples  []struct {
+			Cycle  uint64    `json:"cycle"`
+			Values []float64 `json:"values"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if log.Interval == 0 || len(log.Names) == 0 || len(log.Samples) == 0 {
+		return fmt.Errorf("%s: empty counter log", path)
+	}
+	for i, s := range log.Samples {
+		if len(s.Values) != len(log.Names) {
+			return fmt.Errorf("%s: sample %d has %d values for %d names", path, i, len(s.Values), len(log.Names))
+		}
+		if i > 0 && s.Cycle <= log.Samples[i-1].Cycle {
+			return fmt.Errorf("%s: sample cycles not increasing at %d", path, i)
+		}
+	}
+	fmt.Printf("%s: ok (%d counters x %d samples every %d cycles)\n",
+		path, len(log.Names), len(log.Samples), log.Interval)
+	return nil
+}

@@ -74,8 +74,15 @@ func EightCore(pf PrefetcherKind, emc bool, mcs int) SystemConfig {
 	return cfg
 }
 
-// Run simulates workload wl on system cfg and returns the collected result.
-func Run(cfg SystemConfig, wl Workload) (*Result, error) {
+// System re-exports the simulator handle. Build one with NewSystem when you
+// need more than the Result — the lifecycle Tracer (Chrome trace export) and
+// the interval CounterLog live on the System, not the Result.
+type System = sim.System
+
+// NewSystem builds (but does not run) a simulator for workload wl on system
+// cfg. Call Run on the returned System; observability handles (Tracer,
+// CounterLog) remain valid afterwards.
+func NewSystem(cfg SystemConfig, wl Workload) (*System, error) {
 	if len(wl.Benchmarks) == 0 {
 		return nil, fmt.Errorf("emcsim: workload %q has no benchmarks", wl.Name)
 	}
@@ -86,7 +93,12 @@ func Run(cfg SystemConfig, wl Workload) (*Result, error) {
 	if wl.Seed > 0 {
 		cfg.Seed = wl.Seed
 	}
-	sys, err := sim.New(cfg)
+	return sim.New(cfg)
+}
+
+// Run simulates workload wl on system cfg and returns the collected result.
+func Run(cfg SystemConfig, wl Workload) (*Result, error) {
+	sys, err := NewSystem(cfg, wl)
 	if err != nil {
 		return nil, err
 	}

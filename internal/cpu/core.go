@@ -329,6 +329,13 @@ func (c *Core) Config() Config { return c.cfg }
 // L1D exposes the data cache (directory maintenance by the uncore).
 func (c *Core) L1D() *cache.Cache { return c.l1d }
 
+// ROBOccupancy returns the number of in-flight ROB entries (a live gauge
+// for the observability layer).
+func (c *Core) ROBOccupancy() int { return c.robCount }
+
+// MSHROccupancy returns the number of outstanding L1 miss entries.
+func (c *Core) MSHROccupancy() int { return c.msh.Len() }
+
 // Finished reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Finished() bool {
 	return c.done && c.robCount == 0 && len(c.storeBuf) == c.storeHead && c.pendingFetch == nil

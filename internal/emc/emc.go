@@ -209,6 +209,18 @@ func (e *EMC) ID() int { return e.id }
 // Cache exposes the EMC data cache (directory coordination).
 func (e *EMC) Cache() *cache.Cache { return e.dcache }
 
+// ActiveContexts returns the number of chain contexts currently busy (a
+// live occupancy gauge for the observability layer).
+func (e *EMC) ActiveContexts() int {
+	n := 0
+	for i := range e.ctxs {
+		if e.ctxs[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
 // TLB returns the per-core EMC TLB.
 func (e *EMC) TLB(core int) *vm.EMCTLB { return e.tlbs[core] }
 

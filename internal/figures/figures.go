@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -27,6 +28,14 @@ type Options struct {
 	InstrPerCore8 uint64 // eight-core runs (heavier; usually smaller)
 	Seed          uint64
 	Parallel      int
+
+	// Trace, when Enabled, turns lifecycle tracing on for every run in the
+	// suite; retained records from all runs merge into TraceExport. FigObs
+	// traces its own runs regardless (aggregates only, no retention).
+	Trace obs.Config
+	// Metrics, when non-nil, receives one labeled live-counter group per
+	// distinct run (served by the -http debug endpoint).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns CI-friendly run lengths.
@@ -121,6 +130,7 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*entry
 	sem   chan struct{}
+	texp  *obs.ChromeExport
 }
 
 type entry struct {
@@ -138,8 +148,13 @@ func NewSuite(opts Options) *Suite {
 		Opts:  opts,
 		cache: map[string]*entry{},
 		sem:   make(chan struct{}, opts.Parallel),
+		texp:  &obs.ChromeExport{},
 	}
 }
+
+// TraceExport returns the merged Chrome trace of every traced run so far
+// (empty unless Options.Trace.Enabled with Retain).
+func (s *Suite) TraceExport() *obs.ChromeExport { return s.texp }
 
 // spec identifies one simulation configuration.
 type spec struct {
@@ -152,10 +167,36 @@ type spec struct {
 	ideal    bool
 	chans    int // 0 = default geometry
 	ranks    int
+	trace    bool // force tracing for this run (FigObs attribution)
 }
 
 func (sp spec) key() string {
-	return fmt.Sprintf("%v|%s|%v|%v|%d|%v|%dx%d", sp.bench, sp.pf, sp.emc, sp.runahead, sp.mcs, sp.ideal, sp.chans, sp.ranks)
+	return fmt.Sprintf("%v|%s|%v|%v|%d|%v|%dx%d|%v", sp.bench, sp.pf, sp.emc, sp.runahead, sp.mcs, sp.ideal, sp.chans, sp.ranks, sp.trace)
+}
+
+// label is the human-readable run identity used for metrics labels and the
+// Chrome trace process name.
+func (sp spec) label() string {
+	l := sp.name
+	if sp.pf != "" && sp.pf != sim.PFNone {
+		l += " pf=" + string(sp.pf)
+	}
+	if sp.emc {
+		l += " emc"
+	}
+	if sp.runahead {
+		l += " ra"
+	}
+	if sp.ideal {
+		l += " ideal"
+	}
+	if sp.mcs > 0 {
+		l += fmt.Sprintf(" mcs=%d", sp.mcs)
+	}
+	if sp.chans > 0 {
+		l += fmt.Sprintf(" %dch x%dr", sp.chans, sp.ranks)
+	}
+	return l
 }
 
 // run executes (or returns the memoized result of) a spec.
@@ -191,12 +232,27 @@ func (s *Suite) run(sp spec) (*sim.Result, error) {
 				cfg.Geometry.QueueSize = 512
 			}
 		}
+		switch {
+		case s.Opts.Trace.Enabled:
+			cfg.Obs = s.Opts.Trace
+		case sp.trace:
+			// FigObs needs attribution aggregates only: sample everything,
+			// retain nothing.
+			cfg.Obs = obs.Config{Enabled: true, SampleEvery: 1}
+		}
+		if s.Opts.Metrics != nil {
+			cfg.Metrics = s.Opts.Metrics
+			cfg.MetricsLabels = map[string]string{"run": sp.label()}
+		}
 		sys, err := sim.New(cfg)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.res, e.err = sys.Run()
+		if e.err == nil && s.Opts.Trace.Enabled && s.Opts.Trace.Retain {
+			s.texp.Add(sp.label(), sys.Tracer())
+		}
 	})
 	return e.res, e.err
 }

@@ -155,6 +155,10 @@ func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 // InFlight returns the number of messages still travelling.
 func (r *Ring) InFlight() int { return len(r.flights) }
 
+// Queued returns the number of delivered messages waiting in stop inboxes
+// (a live occupancy gauge for the observability layer).
+func (r *Ring) Queued() int { return r.queued }
+
 // Tick advances every in-flight message by at most one hop. Messages are
 // serviced oldest-first, so a congested link delays younger traffic — the
 // queueing component of on-chip latency.

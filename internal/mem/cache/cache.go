@@ -136,6 +136,20 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool) {
 // Probe reports whether the line is present without touching LRU or stats.
 func (c *Cache) Probe(addr uint64) bool { return c.find(LineAddr(addr)) != nil }
 
+// Occupancy returns the number of valid lines (a live gauge for the
+// observability layer; called at publish cadence, not per access).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // ProbeDirty reports presence and dirtiness without side effects.
 func (c *Cache) ProbeDirty(addr uint64) (present, dirty bool) {
 	l := c.find(LineAddr(addr))

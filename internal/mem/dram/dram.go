@@ -325,6 +325,19 @@ func (c *Controller) QueueOccupancy() int {
 	return n
 }
 
+// WriteQueueOccupancy returns the total queued (not yet issued) writes.
+func (c *Controller) WriteQueueOccupancy() int {
+	n := 0
+	for i := range c.channels {
+		n += len(c.channels[i].writeQ)
+	}
+	return n
+}
+
+// InFlightReads returns issued reads still waiting for their last data beat
+// (a live gauge for the observability layer).
+func (c *Controller) InFlightReads() int { return len(c.inFlight) }
+
 // Enqueue admits a request to its channel queue. It returns false when the
 // queue is full; the caller must retry (this is the back-pressure that makes
 // MC queueing part of on-chip latency).

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Component is one latency bucket of a request's end-to-end time. The
+// decomposition mirrors the paper's Figures 1/2/19: on-chip interconnect
+// (request and response directions split), cache lookup, memory-controller
+// queueing, and DRAM service. Merged is the time a request spent merged
+// behind another in-flight request for the same line (it has no MC/DRAM
+// stamps of its own); it keeps every component sum exact.
+type Component uint8
+
+// Latency components. They partition [issue, fill]:
+//
+//	total == RingReq + LLCLookup + Queue + DRAM + RingRsp + Merged
+//
+// for every attributed request, by construction (CompsFromStamps).
+const (
+	CompRingReq   Component = iota // issue -> MC arrival, minus the LLC lookup
+	CompLLCLookup                  // LLC tag-lookup occupancy at the slice
+	CompQueue                      // MC arrival -> first DRAM command
+	CompDRAM                       // DRAM service (first command -> last beat)
+	CompRingRsp                    // last beat -> delivery at the requester
+	CompMerged                     // unstamped remainder (merged waiters)
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"ring_req", "llc_lookup", "mc_queue", "dram", "ring_rsp", "merged",
+}
+
+// String returns the component's snake_case name.
+func (c Component) String() string {
+	if int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return "unknown"
+}
+
+// OnChip reports whether the component is on-chip time (interconnect +
+// cache lookup) as opposed to memory-system time (queueing + DRAM). Merged
+// time is memory-system time: the request was waiting on someone else's
+// DRAM access.
+func (c Component) OnChip() bool {
+	return c == CompRingReq || c == CompLLCLookup || c == CompRingRsp
+}
+
+// Stamps carries the per-request timestamps the simulator already tracks;
+// zero means "never reached that point".
+type Stamps struct {
+	Issued     uint64
+	SliceReach uint64
+	SliceDone  uint64
+	MCReach    uint64
+	DRAMIssued uint64
+	DRAMDone   uint64
+	Fill       uint64
+}
+
+// CompsFromStamps decomposes one request timeline into components. Each
+// delta is counted only when both endpoints exist and are ordered; whatever
+// the stamps cannot explain lands in CompMerged, so the components always
+// sum to Fill-Issued exactly.
+func CompsFromStamps(st Stamps) (comps [NumComponents]uint64, total uint64) {
+	if st.Fill < st.Issued {
+		return comps, 0
+	}
+	total = st.Fill - st.Issued
+	var llc uint64
+	if st.SliceReach >= st.Issued && st.SliceDone >= st.SliceReach && st.SliceDone <= st.Fill && st.SliceReach > 0 {
+		llc = st.SliceDone - st.SliceReach
+	}
+	explained := uint64(0)
+	if st.MCReach >= st.Issued && st.MCReach <= st.Fill && st.MCReach > 0 {
+		// The request reached the memory controller itself.
+		req := st.MCReach - st.Issued
+		if llc <= req {
+			comps[CompRingReq] = req - llc
+			comps[CompLLCLookup] = llc
+		} else {
+			comps[CompRingReq] = req
+		}
+		explained = req
+		if st.DRAMIssued >= st.MCReach && st.DRAMDone >= st.DRAMIssued && st.DRAMDone <= st.Fill {
+			comps[CompQueue] = st.DRAMIssued - st.MCReach
+			comps[CompDRAM] = st.DRAMDone - st.DRAMIssued
+			comps[CompRingRsp] = st.Fill - st.DRAMDone
+			explained = total
+		}
+	} else if llc > 0 && llc <= total {
+		// Slice-only timeline (merged at the slice): the lookup is the only
+		// attributable on-chip segment.
+		comps[CompLLCLookup] = llc
+		explained = llc
+	}
+	comps[CompMerged] = total - explained
+	return comps, total
+}
+
+// SourceAttr aggregates attribution for one request source.
+type SourceAttr struct {
+	Count    uint64
+	TotalSum uint64
+	CompSum  [NumComponents]uint64
+
+	Total stats.Histogram
+	Comp  [NumComponents]stats.Histogram
+}
+
+// Add accumulates one decomposed request.
+func (a *SourceAttr) Add(comps [NumComponents]uint64, total uint64) {
+	a.Count++
+	a.TotalSum += total
+	a.Total.Add(total)
+	for i, c := range comps {
+		a.CompSum[i] += c
+		a.Comp[i].Add(c)
+	}
+}
+
+// MeanTotal returns the average end-to-end latency.
+func (a *SourceAttr) MeanTotal() float64 { return stats.Ratio(a.TotalSum, a.Count) }
+
+// MeanComp returns the average cycles spent in one component.
+func (a *SourceAttr) MeanComp(c Component) float64 { return stats.Ratio(a.CompSum[c], a.Count) }
+
+// OnChipSum returns the total on-chip cycles (interconnect + LLC lookup).
+func (a *SourceAttr) OnChipSum() uint64 {
+	var s uint64
+	for c := Component(0); c < NumComponents; c++ {
+		if c.OnChip() {
+			s += a.CompSum[c]
+		}
+	}
+	return s
+}
+
+// MemSum returns the total memory-system cycles (queue + DRAM + merged).
+func (a *SourceAttr) MemSum() uint64 { return a.TotalSum - a.OnChipSum() }
+
+// Attribution aggregates per-source latency breakdowns for sampled LLC
+// misses. Prefetch requests are not attributed (they have no consumer to
+// deliver to).
+type Attribution struct {
+	Core SourceAttr
+	EMC  SourceAttr
+}
+
+// AddStamps decomposes and accumulates one completed request.
+func (at *Attribution) AddStamps(src Source, st Stamps) {
+	comps, total := CompsFromStamps(st)
+	switch src {
+	case SrcCore:
+		at.Core.Add(comps, total)
+	case SrcEMC:
+		at.EMC.Add(comps, total)
+	}
+}
+
+// Report is the obs summary a run attaches to its Result.
+type Report struct {
+	SampleEvery uint64
+	Started     uint64
+	Finished    uint64
+	Dropped     uint64
+	Events      uint64
+	Attr        Attribution
+}
+
+// Table renders the Figure-1/2-style latency-attribution breakdown: average
+// cycles per component for core- and EMC-issued misses, with the on-chip vs
+// memory-system split the paper's argument rests on.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency attribution (1-in-%d sampled; avg cycles per miss)\n", r.SampleEvery)
+	fmt.Fprintf(&b, "  %-8s %9s %9s", "source", "misses", "total")
+	for c := Component(0); c < NumComponents; c++ {
+		fmt.Fprintf(&b, " %10s", c.String())
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "on-chip", "memory")
+	row := func(name string, a *SourceAttr) {
+		if a.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-8s %9d %9.1f", name, a.Count, a.MeanTotal())
+		for c := Component(0); c < NumComponents; c++ {
+			fmt.Fprintf(&b, " %10.1f", a.MeanComp(c))
+		}
+		fmt.Fprintf(&b, " %9.1f %9.1f\n",
+			stats.Ratio(a.OnChipSum(), a.Count), stats.Ratio(a.MemSum(), a.Count))
+	}
+	row("core", &r.Attr.Core)
+	row("emc", &r.Attr.EMC)
+	if r.Attr.Core.Count > 0 {
+		fmt.Fprintf(&b, "  core p50<=%d p95<=%d p99<=%d",
+			r.Attr.Core.Total.Quantile(0.5), r.Attr.Core.Total.Quantile(0.95), r.Attr.Core.Total.Quantile(0.99))
+		if r.Attr.EMC.Count > 0 {
+			fmt.Fprintf(&b, "   emc p50<=%d p95<=%d p99<=%d",
+				r.Attr.EMC.Total.Quantile(0.5), r.Attr.EMC.Total.Quantile(0.95), r.Attr.EMC.Total.Quantile(0.99))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ChromeExport merges the retained trace records of one or more runs into a
+// single Chrome trace_event JSON file (the "JSON Array Format" with a
+// traceEvents wrapper), viewable in Perfetto / chrome://tracing.
+//
+// Mapping: one process (pid) per run, one thread (tid) per requester
+// (core i, or 1000+mc for EMC-issued requests), and one async nestable
+// event per request: a "b"/"e" pair spanning issue->last stage with an
+// instant "n" step at every intermediate stage. Async events keep the many
+// overlapping misses of one core from being forced into a nesting
+// hierarchy. Cycles are written as microseconds (1 cycle = 1us).
+type ChromeExport struct {
+	mu   sync.Mutex
+	runs []chromeRun
+}
+
+type chromeRun struct {
+	label   string
+	records []*Record
+}
+
+// Add appends one finished run's retained records under a process label.
+// Safe for concurrent use (figure suites finish runs on many goroutines).
+func (e *ChromeExport) Add(label string, t *Tracer) {
+	if t == nil || len(t.Records()) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.runs = append(e.runs, chromeRun{label: label, records: t.Records()})
+	e.mu.Unlock()
+}
+
+// Runs returns the number of runs added.
+func (e *ChromeExport) Runs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.runs)
+}
+
+// WriteJSON streams the export as trace-event JSON.
+func (e *ChromeExport) WriteJSON(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		bw.WriteByte('\n')
+		_, err = bw.Write(raw)
+		return err
+	}
+	type meta struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	type async struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   uint64         `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   string         `json:"id"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	for pid, run := range e.runs {
+		if err := emit(meta{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": run.label}}); err != nil {
+			return err
+		}
+		threads := map[int]string{}
+		for _, r := range run.records {
+			if len(r.Events) == 0 {
+				continue
+			}
+			tid := r.Core
+			if r.Source == SrcEMC {
+				tid = 1000 + r.Core
+			}
+			if _, ok := threads[tid]; !ok {
+				name := fmt.Sprintf("core %d", r.Core)
+				if r.Source == SrcEMC {
+					name = fmt.Sprintf("emc (core %d chains)", r.Core)
+				}
+				threads[tid] = name
+				if err := emit(meta{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": name}}); err != nil {
+					return err
+				}
+			}
+			id := fmt.Sprintf("%#x", r.ID)
+			name := r.Source.String() + " miss"
+			if r.Dependent {
+				name = r.Source.String() + " dependent miss"
+			}
+			// Stamps arrive in stamp order, not time order: dram_issue is
+			// backdated to the DRAM request's issue cycle, which precedes
+			// this waiter's own arrival when it merged onto an in-flight
+			// line. The span's timeline must be monotonic, so emit the
+			// stages sorted by cycle (every stage becomes a step).
+			evs := append([]Event(nil), r.Events...)
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+			begin := async{Name: name, Cat: "miss", Ph: "b", Ts: evs[0].At,
+				Pid: pid, Tid: tid, ID: id,
+				Args: map[string]any{"line": fmt.Sprintf("%#x", r.Line), "pc": fmt.Sprintf("%#x", r.PC)}}
+			if err := emit(begin); err != nil {
+				return err
+			}
+			for _, ev := range evs {
+				if err := emit(async{Name: ev.Stage.String(), Cat: "miss", Ph: "n",
+					Ts: ev.At, Pid: pid, Tid: tid, ID: id}); err != nil {
+					return err
+				}
+			}
+			if err := emit(async{Name: name, Cat: "miss", Ph: "e", Ts: evs[len(evs)-1].At,
+				Pid: pid, Tid: tid, ID: id}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the export to path.
+func (e *ChromeExport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

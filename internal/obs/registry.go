@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a live counter registry: running Systems publish snapshots of
+// their counters into per-run Groups, and exporters (/metrics, /debug/vars,
+// the interval CounterLog) read them while the simulation is in flight.
+//
+// Publishing and reading happen on different goroutines, so all access goes
+// through the group mutex; the simulator amortizes that by publishing every
+// few thousand cycles rather than per step.
+type Registry struct {
+	mu     sync.Mutex
+	groups []*Group
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewGroup registers a metric group. Labels (e.g. run="H4/emc") tag every
+// metric the group exports; names fixes the metric set up front so Publish
+// is a plain value copy.
+func (r *Registry) NewGroup(labels map[string]string, names []string) *Group {
+	g := &Group{
+		labels: renderLabels(labels),
+		names:  append([]string(nil), names...),
+		vals:   make([]float64, len(names)),
+	}
+	r.mu.Lock()
+	r.groups = append(r.groups, g)
+	r.mu.Unlock()
+	return g
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// Group is one run's slot set within a Registry.
+type Group struct {
+	mu     sync.Mutex
+	labels string
+	names  []string
+	vals   []float64
+}
+
+// Names returns the group's metric names, in publish order.
+func (g *Group) Names() []string { return g.names }
+
+// Publish copies a full snapshot of values (same order as Names) into the
+// group. len(vals) must equal len(Names).
+func (g *Group) Publish(vals []float64) {
+	g.mu.Lock()
+	copy(g.vals, vals)
+	g.mu.Unlock()
+}
+
+// Snapshot appends the group's current values to dst and returns it.
+func (g *Group) Snapshot(dst []float64) []float64 {
+	g.mu.Lock()
+	dst = append(dst, g.vals...)
+	g.mu.Unlock()
+	return dst
+}
+
+// MetricPrefix is prepended to every exported metric name.
+const MetricPrefix = "emcsim_"
+
+// promName sanitizes a registry name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(MetricPrefix)
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every group in the Prometheus text exposition
+// format. Metric names follow the scheme emcsim_<counter>, all lowercase
+// snake_case, with the group's labels attached (see DESIGN.md §9).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	groups := append([]*Group(nil), r.groups...)
+	r.mu.Unlock()
+	seen := map[string]bool{}
+	for _, g := range groups {
+		g.mu.Lock()
+		names := g.names
+		vals := append([]float64(nil), g.vals...)
+		labels := g.labels
+		g.mu.Unlock()
+		for i, n := range names {
+			pn := promName(n)
+			if !seen[pn] {
+				seen[pn] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+					return err
+				}
+			}
+			var err error
+			if labels == "" {
+				_, err = fmt.Fprintf(w, "%s %v\n", pn, vals[i])
+			} else {
+				_, err = fmt.Fprintf(w, "%s{%s} %v\n", pn, labels, vals[i])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Vars returns the registry as a nested map (group labels -> name -> value)
+// for the /debug/vars expvar export.
+func (r *Registry) Vars() map[string]map[string]float64 {
+	r.mu.Lock()
+	groups := append([]*Group(nil), r.groups...)
+	r.mu.Unlock()
+	out := make(map[string]map[string]float64, len(groups))
+	for _, g := range groups {
+		g.mu.Lock()
+		m := make(map[string]float64, len(g.names))
+		for i, n := range g.names {
+			m[n] = g.vals[i]
+		}
+		label := g.labels
+		g.mu.Unlock()
+		if label == "" {
+			label = "run"
+		}
+		out[label] = m
+	}
+	return out
+}
+
+// CounterLog is an in-memory time series of counter snapshots, sampled by
+// the owning System every Interval cycles and serialized to JSON at the end
+// of the run (IPC over time, queue depths, ring occupancy, EMC accept/
+// reject rates, ... — everything the System publishes).
+type CounterLog struct {
+	Interval uint64
+	Names    []string
+	Samples  []CounterSample
+
+	next uint64 // next cycle to sample at (managed by the System)
+}
+
+// CounterSample is one interval snapshot.
+type CounterSample struct {
+	Cycle  uint64
+	Values []float64
+}
+
+// NewCounterLog builds a log sampling every interval cycles.
+func NewCounterLog(interval uint64, names []string) *CounterLog {
+	if interval == 0 {
+		interval = 10000
+	}
+	return &CounterLog{Interval: interval, Names: append([]string(nil), names...)}
+}
+
+// Due reports whether a sample is due at cycle now. Under the event-horizon
+// scheduler cycles are skipped wholesale, so Due fires on the first cycle
+// at or after each interval boundary.
+func (l *CounterLog) Due(now uint64) bool { return now >= l.next }
+
+// Record appends one snapshot (copying vals) and advances the deadline.
+func (l *CounterLog) Record(now uint64, vals []float64) {
+	l.Samples = append(l.Samples, CounterSample{
+		Cycle:  now,
+		Values: append([]float64(nil), vals...),
+	})
+	l.next = now - now%l.Interval + l.Interval
+}
+
+// WriteJSON serializes the time series.
+func (l *CounterLog) WriteJSON(w io.Writer) error {
+	type sample struct {
+		Cycle  uint64    `json:"cycle"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		Interval uint64   `json:"intervalCycles"`
+		Names    []string `json:"names"`
+		Samples  []sample `json:"samples"`
+	}{Interval: l.Interval, Names: l.Names}
+	for _, s := range l.Samples {
+		out.Samples = append(out.Samples, sample{Cycle: s.Cycle, Values: s.Values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteFile writes the time series to path.
+func (l *CounterLog) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

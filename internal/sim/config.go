@@ -6,6 +6,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/emc"
 	"repro/internal/mem/dram"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -77,6 +78,23 @@ type Config struct {
 	DisableCycleSkip bool
 
 	EMCCfg emc.Config
+
+	// Obs enables request-lifecycle tracing and latency attribution (see
+	// internal/obs). Tracing observes timestamps the simulator produces
+	// anyway and never changes simulation outcomes; with Obs.Enabled false
+	// every instrumentation site is a single nil test.
+	Obs obs.Config
+
+	// Metrics, when non-nil, receives periodic live snapshots of the
+	// system's counters (for /metrics, /debug/vars). Each System registers
+	// its own Group tagged with MetricsLabels.
+	Metrics       *obs.Registry
+	MetricsLabels map[string]string
+
+	// CounterInterval, when >0, samples every published counter into an
+	// in-memory time series each N cycles (System.CounterLog), serialized
+	// to JSON by the cmds.
+	CounterInterval uint64
 
 	// CoreTweak optionally adjusts each core's configuration (ablations).
 	CoreTweak func(*cpu.Config)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // skipWorkloads are the configurations the event-horizon scheduler is proven
@@ -53,6 +55,22 @@ func runHashed(t *testing.T, cfg Config) (hash uint64, cycles, skipped uint64) {
 	return r.Hash(), r.Cycles, sys.SkippedCycles()
 }
 
+// runTraced runs one configuration with lifecycle tracing and returns the
+// Result hash plus the number of stage events the tracer stamped.
+func runTraced(t *testing.T, cfg Config, sampleEvery uint64) (hash, events uint64) {
+	t.Helper()
+	cfg.Obs = obs.Config{Enabled: true, SampleEvery: sampleEvery}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Hash(), sys.Tracer().EventCount()
+}
+
 // TestCycleSkipDeterminism is the correctness guard for cycle skipping: for
 // every workload x seed, a run with the event-horizon scheduler enabled must
 // produce a Result bit-identical (same FNV hash over every stat) to a run
@@ -92,6 +110,27 @@ func TestCycleSkipDeterminism(t *testing.T) {
 				}
 				t.Logf("cycles=%d skipped=%d (%.1f%%)", fastCycles, skipped,
 					100*float64(skipped)/float64(fastCycles))
+
+				// Tracing is purely observational: with any sampling rate the
+				// Result must stay bit-identical to the untraced run, and the
+				// tracer must stamp the same events with skipping on or off.
+				for _, sample := range []uint64{1, 8} {
+					cfg.DisableCycleSkip = false
+					onHash, onEvents := runTraced(t, cfg, sample)
+					cfg.DisableCycleSkip = true
+					offHash, offEvents := runTraced(t, cfg, sample)
+					if onHash != fastHash || offHash != fastHash {
+						t.Fatalf("sample=%d: traced hashes diverge from untraced: skip-on %#x, skip-off %#x, untraced %#x",
+							sample, onHash, offHash, fastHash)
+					}
+					if onEvents != offEvents {
+						t.Fatalf("sample=%d: trace event counts diverge: skip-on %d, skip-off %d",
+							sample, onEvents, offEvents)
+					}
+					if onEvents == 0 {
+						t.Fatalf("sample=%d: tracer stamped no events", sample)
+					}
+				}
 			})
 		}
 	}

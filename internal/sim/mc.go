@@ -5,12 +5,16 @@ import (
 	"repro/internal/emc"
 	"repro/internal/mem/cache"
 	"repro/internal/mem/dram"
+	"repro/internal/obs"
 )
 
 // mcAdmit admits a read request at a memory controller, merging requests to
 // the same in-flight line and retrying when the memory queue is full.
 func (s *System) mcAdmit(mc *mcNode, r *memReq) {
 	r.mcArrive = s.now
+	if r.trace != nil {
+		s.tr.StampEvent(r.trace, obs.StageMCReach, s.now)
+	}
 	if p, ok := mc.pending[r.line]; ok {
 		s.mcAttach(p, r)
 		return
@@ -129,6 +133,10 @@ func (s *System) mcComplete(mc *mcNode, dr *dram.Request) {
 	stamp := func(r *memReq) {
 		r.dramIssued = dr.IssuedAt
 		r.dramDone = s.now
+		if r.trace != nil {
+			s.tr.StampEvent(r.trace, obs.StageDRAMIssue, dr.IssuedAt)
+			s.tr.StampEvent(r.trace, obs.StageDRAMDone, s.now)
+		}
 	}
 
 	// Slice-path waiters (demand, prefetch): one fill message to the slice.
@@ -177,6 +185,17 @@ func (s *System) emcFill(mc *mcNode, r *memReq) {
 	s.st.EMCMissTotal += s.now - r.issuedAt
 	if r.dramIssued >= r.mcArrive && r.mcArrive > 0 {
 		s.st.EMCMissQueue += r.dramIssued - r.mcArrive
+	}
+	if r.trace != nil {
+		// An LLC-path launcher is delivered twice (directly and via the
+		// slice); each delivery stamps a fill and is attributed, matching
+		// the EMCMissCount/EMCMissTotal accounting above.
+		s.tr.StampEvent(r.trace, obs.StageFill, s.now)
+		s.tr.Attr().AddStamps(obs.SrcEMC, obs.Stamps{
+			Issued: r.issuedAt, SliceReach: r.sliceArrive, SliceDone: r.sliceDone,
+			MCReach: r.mcArrive, DRAMIssued: r.dramIssued, DRAMDone: r.dramDone,
+			Fill: s.now,
+		})
 	}
 	s.emcActions(mc, mc.emc.FillMem(r.line, s.now))
 }
@@ -259,6 +278,9 @@ func (s *System) emcLineRequest(mc *mcNode, a emc.Action, direct bool) {
 	r := s.allocReq()
 	r.line, r.core, r.pc, r.vaddr = line, a.Core, a.PC, a.VAddr
 	r.fromEMC, r.emcMC, r.issuedAt = true, mc.id, s.now
+	if s.tr != nil {
+		r.trace = s.tr.Start(obs.SrcEMC, r.core, r.line, r.pc, true, s.now)
+	}
 	if direct {
 		// Off-critical-path directory probe: a line present in the LLC must
 		// be served from there (it may be dirty); counts as a mispredict.

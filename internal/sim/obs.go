@@ -1,0 +1,178 @@
+package sim
+
+import "repro/internal/obs"
+
+// obsPublishEvery is the live-metrics publish cadence in cycles. Publishing
+// takes the group mutex, so it is amortized rather than per step; /metrics
+// readers see counters at most this stale.
+const obsPublishEvery = 2048
+
+// gaugeNames lists every counter the System publishes, in collectGauges
+// order. Exported metric names are emcsim_<name> (see obs.MetricPrefix).
+var gaugeNames = []string{
+	"cycles",
+	"skipped_cycles",
+	"retired_instructions",
+	"ipc",
+	"llc_hits",
+	"llc_misses",
+	"llc_demand_accesses",
+	"llc_occupancy_lines",
+	"dependent_misses",
+	"dram_demand_reads",
+	"dram_prefetch_reads",
+	"dram_emc_reads",
+	"dram_writes",
+	"mc_read_queue_depth",
+	"mc_write_queue_depth",
+	"mc_inflight_reads",
+	"mc_retry_backlog",
+	"ring_ctrl_inflight",
+	"ring_ctrl_queued",
+	"ring_data_inflight",
+	"ring_data_queued",
+	"rob_occupancy",
+	"l1_mshr_occupancy",
+	"emc_active_contexts",
+	"emc_chains_installed",
+	"emc_chains_done",
+	"emc_chains_rejected",
+	"emc_chains_aborted",
+	"core_miss_count",
+	"core_miss_cycles_total",
+	"emc_miss_count",
+	"emc_miss_cycles_total",
+	"trace_records_started",
+	"trace_events",
+}
+
+// initObs wires the observability layer into a freshly built System.
+func (s *System) initObs() {
+	s.tr = obs.NewTracer(s.cfg.Obs)
+	if s.cfg.Metrics != nil {
+		s.mGroup = s.cfg.Metrics.NewGroup(s.cfg.MetricsLabels, gaugeNames)
+	}
+	if s.cfg.CounterInterval > 0 {
+		s.clog = obs.NewCounterLog(s.cfg.CounterInterval, gaugeNames)
+	}
+	s.obsOn = s.mGroup != nil || s.clog != nil
+	if s.obsOn {
+		s.gaugeBuf = make([]float64, len(gaugeNames))
+	}
+}
+
+// Tracer returns the lifecycle tracer, or nil when tracing is disabled.
+func (s *System) Tracer() *obs.Tracer { return s.tr }
+
+// CounterLog returns the interval counter time series, or nil.
+func (s *System) CounterLog() *obs.CounterLog { return s.clog }
+
+// obsTick publishes live counters and interval samples when due. It only
+// reads simulator state — the simulation is bit-identical with it on or off.
+func (s *System) obsTick() {
+	due := s.clog != nil && s.clog.Due(s.now)
+	if !due && (s.mGroup == nil || s.now < s.nextPublish) {
+		return
+	}
+	vals := s.collectGauges()
+	if due {
+		s.clog.Record(s.now, vals)
+	}
+	if s.mGroup != nil && s.now >= s.nextPublish {
+		s.mGroup.Publish(vals)
+		s.nextPublish = s.now + obsPublishEvery
+	}
+}
+
+// flushObs publishes one final snapshot at the end of the run so exporters
+// see the finished counters.
+func (s *System) flushObs() {
+	if !s.obsOn {
+		return
+	}
+	vals := s.collectGauges()
+	if s.clog != nil {
+		s.clog.Record(s.now, vals)
+	}
+	if s.mGroup != nil {
+		s.mGroup.Publish(vals)
+	}
+}
+
+// collectGauges snapshots every published counter into the reused buffer,
+// in gaugeNames order.
+func (s *System) collectGauges() []float64 {
+	var retired, rob, mshr uint64
+	for _, c := range s.cores {
+		retired += c.Stats.Retired
+		rob += uint64(c.ROBOccupancy())
+		mshr += uint64(c.MSHROccupancy())
+	}
+	var llcOcc uint64
+	for _, sl := range s.slices {
+		llcOcc += uint64(sl.c.Occupancy())
+	}
+	var readQ, writeQ, inflight, retry, dramWrites uint64
+	var emcCtx, chInst, chDone, chRej, chAb uint64
+	for _, mc := range s.mcs {
+		readQ += uint64(mc.ctrl.QueueOccupancy())
+		writeQ += uint64(mc.ctrl.WriteQueueOccupancy())
+		inflight += uint64(mc.ctrl.InFlightReads())
+		retry += uint64(len(mc.retryQ) - mc.retryHead)
+		dramWrites += mc.ctrl.Stats.Writes
+		if mc.emc != nil {
+			emcCtx += uint64(mc.emc.ActiveContexts())
+			chInst += mc.emc.Stats.ChainsInstalled
+			chDone += mc.emc.Stats.ChainsDone
+			chRej += mc.emc.Stats.ChainsRejected
+			chAb += mc.emc.Stats.ChainsAborted
+		}
+	}
+	ipc := 0.0
+	if s.now > 0 {
+		ipc = float64(retired) / float64(s.now)
+	}
+	var trStarted, trEvents uint64
+	if s.tr != nil {
+		trStarted, trEvents = s.tr.Started(), s.tr.EventCount()
+	}
+	v := s.gaugeBuf[:0]
+	v = append(v,
+		float64(s.now),
+		float64(s.skipped),
+		float64(retired),
+		ipc,
+		float64(s.st.LLCHits),
+		float64(s.st.LLCMisses),
+		float64(s.st.LLCDemand),
+		float64(llcOcc),
+		float64(s.st.DepMisses),
+		float64(s.st.DRAMDemandReads),
+		float64(s.st.DRAMPrefetch),
+		float64(s.st.DRAMEMCReads),
+		float64(dramWrites),
+		float64(readQ),
+		float64(writeQ),
+		float64(inflight),
+		float64(retry),
+		float64(s.ctrl.InFlight()),
+		float64(s.ctrl.Queued()),
+		float64(s.data.InFlight()),
+		float64(s.data.Queued()),
+		float64(rob),
+		float64(mshr),
+		float64(emcCtx),
+		float64(chInst),
+		float64(chDone),
+		float64(chRej),
+		float64(chAb),
+		float64(s.st.CoreMissCount),
+		float64(s.st.CoreMissTotal),
+		float64(s.st.EMCMissCount),
+		float64(s.st.EMCMissTotal),
+		float64(trStarted),
+		float64(trEvents),
+	)
+	s.gaugeBuf = v
+	return v
+}

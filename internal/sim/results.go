@@ -8,6 +8,7 @@ import (
 	"repro/internal/emc"
 	"repro/internal/energy"
 	"repro/internal/mem/dram"
+	"repro/internal/obs"
 )
 
 // CoreResult is one core's outcome.
@@ -41,6 +42,11 @@ type Result struct {
 	PrefetchUseful uint64
 
 	Energy energy.Breakdown
+
+	// Obs carries the tracing/attribution report when Config.Obs.Enabled
+	// (nil otherwise). It is observational — deliberately excluded from
+	// Hash, which covers simulation outcomes only.
+	Obs *obs.Report
 }
 
 // Hash returns an FNV-1a digest over every simulation outcome in the Result
@@ -202,6 +208,10 @@ func (s *System) collect() *Result {
 		r.PrefetchUseful += f.Useful
 	}
 	r.Energy = s.computeEnergy(r)
+	s.flushObs()
+	if s.tr != nil {
+		r.Obs = s.tr.Report()
+	}
 	return r
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/mem/cache"
 	"repro/internal/mem/dram"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -36,6 +37,11 @@ type memReq struct {
 
 	llcMiss bool
 	ideal   bool // served by the ideal-dependent-hit mode
+
+	// trace is the sampled lifecycle record (nil when tracing is off or the
+	// request was not sampled); it is finished when the request returns to
+	// the pool. See internal/obs and DESIGN.md §9.
+	trace *obs.Record
 
 	// refs counts terminal deliveries this request still expects before it
 	// can return to the pool. Almost always 1; an LLC-path EMC request that
@@ -210,6 +216,14 @@ type System struct {
 	reqPool  []*memReq
 	pendPool []*mcPending
 	waitPool []*lineWaiters
+
+	// Observability (nil / false when disabled; see internal/sim/obs.go).
+	tr          *obs.Tracer
+	mGroup      *obs.Group
+	clog        *obs.CounterLog
+	gaugeBuf    []float64
+	obsOn       bool
+	nextPublish uint64
 }
 
 const noEvent = ^uint64(0)
@@ -256,11 +270,16 @@ func (s *System) allocReq() *memReq {
 }
 
 // freeReq drops one reference; the request returns to the pool when the last
-// expected delivery has consumed it.
+// expected delivery has consumed it. A sampled trace record is finished
+// here — the one point every request funnels through exactly once.
 func (s *System) freeReq(r *memReq) {
 	if r.refs > 1 {
 		r.refs--
 		return
+	}
+	if r.trace != nil {
+		s.tr.Finish(r.trace)
+		r.trace = nil
 	}
 	*r = memReq{}
 	s.reqPool = append(s.reqPool, r)
@@ -414,6 +433,7 @@ func New(cfg Config) (*System, error) {
 		}
 		s.pfs = append(s.pfs, prefetch.NewFDP(prefetch.DefaultFDPConfig(), inner))
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -438,6 +458,13 @@ func (s *System) coreLoadMiss(m *cpu.MissInfo) {
 	r := s.allocReq()
 	r.line, r.core, r.pc, r.vaddr = m.LineAddr, m.CoreID, m.PC, m.VAddr
 	r.dependent, r.prefetch, r.issuedAt = m.Dependent, m.Prefetch, m.IssuedAt
+	if s.tr != nil {
+		src := obs.SrcCore
+		if r.prefetch {
+			src = obs.SrcPrefetch
+		}
+		r.trace = s.tr.Start(src, r.core, r.line, r.pc, r.dependent, r.issuedAt)
+	}
 	sl := s.sliceOf(r.line)
 	s.sendCtrl(s.coreStop[m.CoreID], sl.stop, msg{kind: mReqToSlice, req: r})
 }
@@ -642,6 +669,12 @@ func (s *System) step() {
 			}
 		}
 	}
+
+	// 6. Observability: publish live counters / interval samples (read-only;
+	// a single branch when disabled).
+	if s.obsOn {
+		s.obsTick()
+	}
 }
 
 // shipChain sends a generated chain to the MC owning the source line's
@@ -667,6 +700,9 @@ func (s *System) handle(stop int, m *msg) {
 	switch m.kind {
 	case mReqToSlice:
 		m.req.sliceArrive = s.now
+		if m.req.trace != nil {
+			s.tr.StampEvent(m.req.trace, obs.StageSliceReach, s.now)
+		}
 		sl := s.sliceOf(m.req.line)
 		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
 	case mHitData, mFillToCore:
@@ -733,6 +769,9 @@ func (s *System) handle(stop int, m *msg) {
 		}
 	case mEMCLLCReq:
 		m.req.sliceArrive = s.now
+		if m.req.trace != nil {
+			s.tr.StampEvent(m.req.trace, obs.StageSliceReach, s.now)
+		}
 		sl := s.sliceOf(m.req.line)
 		sl.lookupQ = append(sl.lookupQ, sliceEvent{at: s.now + uint64(s.cfg.LLCLatency), req: m.req})
 	case mEMCLLCData:
@@ -757,6 +796,18 @@ func (s *System) deliverFill(r *memReq) {
 	sl.c.SetPresence(r.line<<cache.LineShift, r.core, true)
 	if had {
 		s.sliceOf(victim).c.SetPresence(victim<<cache.LineShift, r.core, false)
+	}
+	if r.trace != nil {
+		s.tr.StampEvent(r.trace, obs.StageFill, s.now)
+		if r.llcMiss && !r.ideal {
+			// Attribution covers exactly the requests CoreMissTotal counts,
+			// so sampled component sums reconcile against it.
+			s.tr.Attr().AddStamps(obs.SrcCore, obs.Stamps{
+				Issued: r.issuedAt, SliceReach: r.sliceArrive, SliceDone: r.sliceDone,
+				MCReach: r.mcArrive, DRAMIssued: r.dramIssued, DRAMDone: r.dramDone,
+				Fill: r.fillCore,
+			})
+		}
 	}
 	if r.llcMiss && !r.ideal {
 		s.st.CoreMissCount++
@@ -804,6 +855,9 @@ func (s *System) sliceTick(sl *llcSlice) {
 
 func (s *System) sliceLookup(sl *llcSlice, r *memReq) {
 	r.sliceDone = s.now
+	if r.trace != nil {
+		s.tr.StampEvent(r.trace, obs.StageSliceDone, s.now)
+	}
 	addr := r.line << cache.LineShift
 	hit := sl.c.Access(addr, false)
 	if !r.fromEMC {
@@ -910,6 +964,9 @@ func (s *System) issuePrefetch(core int, line uint64) {
 	}
 	r := s.allocReq()
 	r.line, r.core, r.prefetch, r.issuedAt = line, core, true, s.now
+	if s.tr != nil {
+		r.trace = s.tr.Start(obs.SrcPrefetch, core, line, 0, false, s.now)
+	}
 	sl.outstanding[line] = s.allocWaiters(r)
 	s.sendCtrl(sl.stop, s.mcOf(line).stop, msg{kind: mReqToMC, req: r})
 }

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -25,7 +26,7 @@ type Histogram struct {
 func (h *Histogram) Add(v uint64) {
 	b := 0
 	if v > 1 {
-		b = 64 - leadingZeros(v) - 1
+		b = 64 - bits.LeadingZeros64(v) - 1
 		if b >= len(h.buckets) {
 			b = len(h.buckets) - 1
 		}
@@ -39,14 +40,6 @@ func (h *Histogram) Add(v uint64) {
 	if v > h.max {
 		h.max = v
 	}
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for m := uint64(1) << 63; m != 0 && v&m == 0; m >>= 1 {
-		n++
-	}
-	return n
 }
 
 // Count returns the number of samples.
@@ -87,7 +80,9 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		cum += c
 		if cum >= target {
 			top := uint64(1)<<(uint(i)+1) - 1
-			if top > h.max {
+			// The last bucket is open-ended (Add clamps overflowing samples
+			// into it), so its nominal top can understate; use the max.
+			if top > h.max || i == len(h.buckets)-1 {
 				top = h.max
 			}
 			return top

@@ -42,6 +42,38 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	var one Histogram
+	one.Add(37)
+	for _, q := range []float64{-0.5, 0, 0.5, 0.99, 1, 1.5} {
+		// A single sample is every quantile; the bucket top clamps to max.
+		if v := one.Quantile(q); v != 37 {
+			t.Errorf("single-sample Quantile(%v) = %d, want 37", q, v)
+		}
+	}
+
+	// Samples beyond the last bucket's range land in (and clamp to) the top
+	// bucket; the quantile bound must still clamp to the observed max, not
+	// the bucket's nominal 2^48 top.
+	var big Histogram
+	huge := uint64(1) << 60
+	big.Add(huge)
+	big.Add(huge + 5)
+	if v := big.Quantile(0.5); v != huge+5 {
+		t.Errorf("max-bucket Quantile(0.5) = %d, want clamp to max %d", v, huge+5)
+	}
+	if big.Min() != huge || big.Max() != huge+5 {
+		t.Errorf("max-bucket extrema %d/%d", big.Min(), big.Max())
+	}
+}
+
 // Property: quantile bounds are monotone in q and always >= min, <= max.
 func TestQuantileMonotoneProperty(t *testing.T) {
 	f := func(samples []uint16) bool {
