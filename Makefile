@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments trace-smoke clean
+.PHONY: all build vet test race bench experiments trace-smoke serve-smoke clean
 
 all: build test
 
@@ -11,21 +11,27 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 gate: build everything, vet, run the full test suite, the
-# race-enabled determinism suite over the simulator core, and the
+# race-enabled suites over the simulator core and the job scheduler, and the
 # observability end-to-end smoke.
 test: build vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/service/...
 	$(MAKE) trace-smoke
 
 race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/service/...
 
 # End-to-end observability smoke: run a tiny traced workload with the debug
 # server up, validate the Chrome trace against the schema, and scrape
 # /metrics once (see scripts/trace_smoke.sh).
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
+
+# End-to-end service smoke: boot emcserve, submit a tiny job with emcctl,
+# verify the cached-resubmit path and the graceful SIGTERM drain (see
+# scripts/serve_smoke.sh).
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # Microbenchmark smoke run: one iteration of every benchmark in the
 # simulator core, interconnect, and DRAM packages, captured as JSON so a
@@ -41,4 +47,4 @@ experiments:
 
 clean:
 	rm -f BENCH_sim.json results-run.md *.test *.prof
-	rm -rf .smoke
+	rm -rf .smoke .smoke-serve

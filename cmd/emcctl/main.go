@@ -1,0 +1,212 @@
+// Command emcctl is the thin client for emcserve.
+//
+//	emcctl [-server URL] submit -bench mcf,mcf,mcf,mcf -emc [-wait]
+//	emcctl [-server URL] status  <job-id>
+//	emcctl [-server URL] result  <job-id>
+//	emcctl [-server URL] watch   <job-id>     # NDJSON progress stream
+//	emcctl [-server URL] cancel  <job-id>
+//	emcctl [-server URL] jobs
+//	emcctl [-server URL] stats
+//	emcctl [-server URL] metrics              # raw Prometheus text
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: emcctl [-server URL] <submit|status|result|watch|cancel|jobs|stats|metrics> [args]")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emcctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "emcserve base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	base := strings.TrimRight(*server, "/")
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	switch cmd {
+	case "submit":
+		submit(base, args)
+	case "status":
+		getJSON(base, "/api/v1/jobs/"+one(args, cmd))
+	case "result":
+		getJSON(base, "/api/v1/jobs/"+one(args, cmd)+"/result")
+	case "watch":
+		watch(base, one(args, cmd))
+	case "cancel":
+		post(base, "/api/v1/jobs/"+one(args, cmd)+"/cancel", nil)
+	case "jobs":
+		getJSON(base, "/api/v1/jobs")
+	case "stats":
+		getJSON(base, "/api/v1/stats")
+	case "metrics":
+		raw(base, "/metrics")
+	default:
+		usage()
+	}
+}
+
+func one(args []string, cmd string) string {
+	if len(args) != 1 {
+		fmt.Fprintf(os.Stderr, "emcctl: %s takes exactly one job id\n", cmd)
+		os.Exit(2)
+	}
+	return args[0]
+}
+
+func submit(base string, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	bench := fs.String("bench", "mcf,sphinx3,soplex,libquantum", "comma-separated benchmarks, one per core")
+	n := fs.Uint64("n", 30000, "instructions per core")
+	seed := fs.Uint64("seed", 1, "trace seed")
+	pf := fs.String("pf", "none", "prefetcher: none|ghb|stream|markov+stream")
+	emc := fs.Bool("emc", false, "enable the Enhanced Memory Controller")
+	runahead := fs.Bool("runahead", false, "enable the runahead baseline")
+	bp := fs.Bool("bp", false, "enable the branch predictor")
+	mcs := fs.Int("mcs", 0, "memory controllers (8-core only)")
+	ideal := fs.Bool("ideal-dep-hits", false, "serve dependent misses at LLC-hit latency")
+	client := fs.String("client", "emcctl", "client name for queue fairness")
+	wait := fs.Bool("wait", false, "poll until the job is terminal, then print its status")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	req := service.JobRequest{
+		Client:             *client,
+		Benchmarks:         strings.Split(*bench, ","),
+		InstrPerCore:       *n,
+		Seed:               *seed,
+		Prefetcher:         *pf,
+		EMC:                *emc,
+		Runahead:           *runahead,
+		UseBranchPredictor: *bp,
+		MCs:                *mcs,
+		IdealDependentHits: *ideal,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	data := post(base, "/api/v1/jobs", body)
+	if !*wait {
+		return
+	}
+	var st service.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal(err)
+	}
+	for !st.State.Terminal() {
+		time.Sleep(200 * time.Millisecond)
+		data = get(base, "/api/v1/jobs/"+st.ID)
+		if err := json.Unmarshal(data, &st); err != nil {
+			fatal(err)
+		}
+	}
+	pretty(data)
+	if st.State != service.StateDone {
+		os.Exit(1)
+	}
+}
+
+func watch(base, id string) {
+	resp, err := http.Get(base + "/api/v1/jobs/" + id + "/progress?poll=200")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalStatus(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+}
+
+func get(base, path string) []byte {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
+		os.Exit(1)
+	}
+	return data
+}
+
+func getJSON(base, path string) {
+	pretty(get(base, path))
+}
+
+func post(base, path string, body []byte) []byte {
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
+		os.Exit(1)
+	}
+	pretty(data)
+	return data
+}
+
+func raw(base, path string) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalStatus(resp)
+	}
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck // best-effort dump
+}
+
+func fatalStatus(resp *http.Response) {
+	data, _ := io.ReadAll(resp.Body)
+	fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
+	os.Exit(1)
+}
+
+// pretty prints data re-indented when it is JSON, verbatim otherwise.
+func pretty(data []byte) {
+	var buf bytes.Buffer
+	if json.Indent(&buf, bytes.TrimSpace(data), "", "  ") == nil {
+		fmt.Println(buf.String())
+		return
+	}
+	os.Stdout.Write(data) //nolint:errcheck
+}

@@ -12,16 +12,20 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	emcsim "repro"
 	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/report"
 )
 
 func main() {
@@ -116,8 +120,23 @@ func main() {
 		stopProfiling()
 		os.Exit(1)
 	}
-	res, err := sys.Run()
-	if err != nil {
+	// SIGINT/SIGTERM cancel the run at the next cycle boundary; the partial
+	// statistics are still summarized and the exit status is non-zero. A
+	// second signal kills the process immediately.
+	h := sys.NewRunHandle(0, nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "emcsim: signal received, cancelling at next cycle boundary (repeat to kill)")
+		h.Cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+	res, err := h.Run()
+	signal.Stop(sigc)
+	cancelled := errors.Is(err, emcsim.ErrCancelled)
+	if err != nil && !cancelled {
 		fmt.Fprintln(os.Stderr, "emcsim:", err)
 		stopProfiling()
 		os.Exit(1)
@@ -147,17 +166,26 @@ func main() {
 	}
 
 	if *jsonOut {
+		out := report.New(res)
+		out.Cancelled = cancelled
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(resultJSON(res)); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "emcsim:", err)
 			os.Exit(1)
 		}
 		linger()
+		if cancelled {
+			stopProfiling()
+			os.Exit(1)
+		}
 		return
 	}
 
 	fmt.Printf("workload: %s   pf=%s emc=%v mcs=%d n=%d\n", *bench, *pf, *emc, *mcs, *n)
+	if cancelled {
+		fmt.Printf("run cancelled by signal: partial statistics follow\n")
+	}
 	fmt.Printf("cycles: %d   avg IPC: %.4f\n\n", res.Cycles, res.AvgIPC())
 	for _, c := range res.Cores {
 		fmt.Printf("  core %-12s IPC %.4f  loads %-6d LLCmiss %-5d dep %-5d chains %d\n",
@@ -203,4 +231,8 @@ func main() {
 		}
 	}
 	linger()
+	if cancelled {
+		stopProfiling()
+		os.Exit(1)
+	}
 }

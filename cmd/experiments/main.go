@@ -8,9 +8,11 @@
 //	experiments -md results.md     # also write a markdown report
 //	experiments -only Obs -trace t.json   # lifecycle traces (Perfetto)
 //	experiments -http 127.0.0.1:8080      # live /metrics while the suite runs
+//	experiments -jobs 4                   # route runs through the job scheduler
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,8 @@ import (
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -34,9 +38,15 @@ func main() {
 	traceOut := flag.String("trace", "", "write a merged Chrome trace_event JSON of every run to this file")
 	traceSample := flag.Uint64("trace-sample", 64, "with -trace, trace one in N requests per run")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
+	jobs := flag.Int("jobs", 0, "route every run through the service scheduler with this many workers (coalesces and caches duplicate configs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *jobs > 0 && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -jobs cannot retain lifecycle traces; drop -trace or -jobs")
+		os.Exit(1)
+	}
 
 	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -65,6 +75,18 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("debug server listening on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	var svc *service.Service
+	if *jobs > 0 {
+		svc = service.New(service.Config{
+			Workers:  *jobs,
+			QueueCap: 4096, // the suite fans out from Parallel goroutines; never backpressure it
+			CacheCap: 1024,
+			Metrics:  opts.Metrics,
+		})
+		opts.Runner = func(cfg sim.Config) (*sim.Result, error) {
+			return svc.Run(context.Background(), "experiments", cfg)
+		}
 	}
 	suite := figures.NewSuite(opts)
 
@@ -125,6 +147,16 @@ func main() {
 		report.WriteString("\n")
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	if svc != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := svc.Drain(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: drain:", err)
+		}
+		cancel()
+		st := svc.Stats()
+		fmt.Printf("scheduler: %d submitted, %d simulated, %d coalesced, %d cache hits\n",
+			st.Submitted, st.Done-st.CacheHits, st.Coalesced, st.CacheHits)
+	}
 	stopProfiling()
 
 	if *traceOut != "" {

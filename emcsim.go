@@ -79,6 +79,18 @@ func EightCore(pf PrefetcherKind, emc bool, mcs int) SystemConfig {
 // the interval CounterLog live on the System, not the Result.
 type System = sim.System
 
+// RunHandle re-exports the cancellable run driver: build one with
+// System.NewRunHandle to get cooperative cancellation (SIGINT handling, the
+// job service) and periodic Progress callbacks.
+type RunHandle = sim.RunHandle
+
+// Progress is one periodic snapshot of an in-flight run.
+type Progress = sim.Progress
+
+// ErrCancelled is returned by RunHandle.Run when the run was cancelled; the
+// Result alongside it carries partial statistics.
+var ErrCancelled = sim.ErrCancelled
+
 // NewSystem builds (but does not run) a simulator for workload wl on system
 // cfg. Call Run on the returned System; observability handles (Tracer,
 // CounterLog) remain valid afterwards.

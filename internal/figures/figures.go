@@ -36,6 +36,14 @@ type Options struct {
 	// Metrics, when non-nil, receives one labeled live-counter group per
 	// distinct run (served by the -http debug endpoint).
 	Metrics *obs.Registry
+
+	// Runner, when non-nil, replaces the direct sim.New+Run path: every
+	// fully-built run configuration is routed through it instead (the
+	// experiments -jobs mode submits to the service scheduler, which
+	// coalesces and caches duplicate configurations). Determinism makes the
+	// two paths interchangeable — same config, bit-identical Result.
+	// Trace retention (Trace.Retain) is not available through a Runner.
+	Runner func(cfg sim.Config) (*sim.Result, error)
 }
 
 // DefaultOptions returns CI-friendly run lengths.
@@ -243,6 +251,10 @@ func (s *Suite) run(sp spec) (*sim.Result, error) {
 		if s.Opts.Metrics != nil {
 			cfg.Metrics = s.Opts.Metrics
 			cfg.MetricsLabels = map[string]string{"run": sp.label()}
+		}
+		if s.Opts.Runner != nil {
+			e.res, e.err = s.Opts.Runner(cfg)
+			return
 		}
 		sys, err := sim.New(cfg)
 		if err != nil {

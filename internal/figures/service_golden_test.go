@@ -1,0 +1,46 @@
+package figures_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestServiceModeFigureBytesIdentical is the -jobs golden test: a figure
+// produced with every run routed through the service scheduler must render
+// byte-identically to the direct sim.Run path. Fig. 22 is the densest cheap
+// figure (the H1–H10 baseline/EMC pairs, 20 runs), so it exercises sharding,
+// result-cache traffic, and run memoization together.
+func TestServiceModeFigureBytesIdentical(t *testing.T) {
+	opts := figures.DefaultOptions()
+	opts.InstrPerCore = 1500
+	opts.InstrPerCore8 = 1000
+	opts.Parallel = 4
+
+	direct, err := figures.NewSuite(opts).Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := service.New(service.Config{Workers: 4, QueueCap: 1024})
+	defer svc.Close()
+	sopts := opts
+	sopts.Runner = func(cfg sim.Config) (*sim.Result, error) {
+		return svc.Run(context.Background(), "golden", cfg)
+	}
+	served, err := figures.NewSuite(sopts).Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := served.String(), direct.String(); got != want {
+		t.Fatalf("service-mode table differs from direct run:\n--- direct ---\n%s\n--- service ---\n%s", want, got)
+	}
+	st := svc.Stats()
+	if st.Done == 0 || st.Failed != 0 {
+		t.Fatalf("scheduler did no work or failed: %+v", st)
+	}
+}

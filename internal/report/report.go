@@ -1,17 +1,23 @@
-package main
+// Package report renders a sim.Result as the stable machine-readable JSON
+// shape shared by emcsim -json, the service's result endpoint, and emcctl:
+// derived metrics plus the per-core and system counters, without internal
+// configuration.
+package report
 
 import (
-	emcsim "repro"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
-// jsonResult is the stable machine-readable shape emitted by -json: derived
-// metrics plus the per-core and system counters, without internal config.
-type jsonResult struct {
+// Result is the JSON shape.
+type Result struct {
 	Cycles uint64  `json:"cycles"`
 	AvgIPC float64 `json:"avgIPC"`
 
-	Cores []jsonCore `json:"cores"`
+	// Cancelled marks a partial result from a cancelled run.
+	Cancelled bool `json:"cancelled,omitempty"`
+
+	Cores []Core `json:"cores"`
 
 	CoreMissLatency float64 `json:"coreMissLatency"`
 	EMCMissLatency  float64 `json:"emcMissLatency,omitempty"`
@@ -31,21 +37,22 @@ type jsonResult struct {
 	EnergyChipJ  float64 `json:"energyChipJ"`
 	EnergyDRAMJ  float64 `json:"energyDRAMJ"`
 
-	Obs *jsonObs `json:"obs,omitempty"`
+	Obs *Obs `json:"obs,omitempty"`
 }
 
-// jsonObs summarizes lifecycle tracing: sampling, volume, and the per-source
+// Obs summarizes lifecycle tracing: sampling, volume, and the per-source
 // latency attribution (average cycles per miss by component).
-type jsonObs struct {
+type Obs struct {
 	SampleEvery uint64 `json:"sampleEvery"`
 	Records     uint64 `json:"records"`
 	Events      uint64 `json:"events"`
 
-	Core *jsonAttr `json:"core,omitempty"`
-	EMC  *jsonAttr `json:"emc,omitempty"`
+	Core *Attr `json:"core,omitempty"`
+	EMC  *Attr `json:"emc,omitempty"`
 }
 
-type jsonAttr struct {
+// Attr is one source class's attribution summary.
+type Attr struct {
 	Count      uint64             `json:"count"`
 	MeanTotal  float64            `json:"meanTotal"`
 	MeanOnChip float64            `json:"meanOnChip"`
@@ -53,11 +60,24 @@ type jsonAttr struct {
 	Components map[string]float64 `json:"components"`
 }
 
-func attrJSON(a *obs.SourceAttr) *jsonAttr {
+// Core is one core's summary.
+type Core struct {
+	Benchmark       string  `json:"benchmark"`
+	IPC             float64 `json:"ipc"`
+	Retired         uint64  `json:"retired"`
+	Loads           uint64  `json:"loads"`
+	Stores          uint64  `json:"stores"`
+	LLCMisses       uint64  `json:"llcMisses"`
+	DependentMisses uint64  `json:"dependentMisses"`
+	ChainsGenerated uint64  `json:"chainsGenerated"`
+	ChainsAborted   uint64  `json:"chainsAborted"`
+}
+
+func attr(a *obs.SourceAttr) *Attr {
 	if a.Count == 0 {
 		return nil
 	}
-	out := &jsonAttr{
+	out := &Attr{
 		Count:      a.Count,
 		MeanTotal:  a.MeanTotal(),
 		MeanOnChip: float64(a.OnChipSum()) / float64(a.Count),
@@ -70,20 +90,9 @@ func attrJSON(a *obs.SourceAttr) *jsonAttr {
 	return out
 }
 
-type jsonCore struct {
-	Benchmark       string  `json:"benchmark"`
-	IPC             float64 `json:"ipc"`
-	Retired         uint64  `json:"retired"`
-	Loads           uint64  `json:"loads"`
-	Stores          uint64  `json:"stores"`
-	LLCMisses       uint64  `json:"llcMisses"`
-	DependentMisses uint64  `json:"dependentMisses"`
-	ChainsGenerated uint64  `json:"chainsGenerated"`
-	ChainsAborted   uint64  `json:"chainsAborted"`
-}
-
-func resultJSON(r *emcsim.Result) jsonResult {
-	out := jsonResult{
+// New converts a sim.Result.
+func New(r *sim.Result) Result {
+	out := Result{
 		Cycles:          r.Cycles,
 		AvgIPC:          r.AvgIPC(),
 		CoreMissLatency: r.CoreMissLatency(),
@@ -102,7 +111,7 @@ func resultJSON(r *emcsim.Result) jsonResult {
 		EnergyDRAMJ:     r.Energy.DRAMStatic + r.Energy.DRAMDynamic,
 	}
 	for _, c := range r.Cores {
-		out.Cores = append(out.Cores, jsonCore{
+		out.Cores = append(out.Cores, Core{
 			Benchmark:       c.Benchmark,
 			IPC:             c.IPC,
 			Retired:         c.Stats.Retired,
@@ -115,12 +124,12 @@ func resultJSON(r *emcsim.Result) jsonResult {
 		})
 	}
 	if r.Obs != nil {
-		out.Obs = &jsonObs{
+		out.Obs = &Obs{
 			SampleEvery: r.Obs.SampleEvery,
 			Records:     r.Obs.Finished,
 			Events:      r.Obs.Events,
-			Core:        attrJSON(&r.Obs.Attr.Core),
-			EMC:         attrJSON(&r.Obs.Attr.EMC),
+			Core:        attr(&r.Obs.Attr.Core),
+			EMC:         attr(&r.Obs.Attr.EMC),
 		}
 	}
 	return out

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// resultCache is the content-addressed result cache: completed Results
+// keyed by the job cache key (sim.Config.Fingerprint plus the observability
+// variant, see cacheKey). Entries are immutable — the simulator produces a
+// fresh Result per run and nobody mutates it afterwards — so hits share the
+// pointer. Bounded LRU.
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *sim.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, m: map[string]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached Result for key, bumping its recency.
+func (c *resultCache) get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry over
+// capacity.
+func (c *resultCache) put(key string, res *sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.cap > 0 && c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns hit/miss/eviction counters and the current entry count.
+func (c *resultCache) stats() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.lru.Len()
+}

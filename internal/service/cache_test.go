@@ -1,0 +1,71 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func res(cycles uint64) *sim.Result { return &sim.Result{Cycles: cycles} }
+
+// TestCacheLRUEviction: the least recently used entry is evicted first, and
+// a get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", res(1))
+	c.put("b", res(2))
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.put("c", res(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was refreshed and must survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c was just inserted and must survive")
+	}
+	hits, misses, evictions, entries := c.stats()
+	if evictions != 1 || entries != 2 {
+		t.Fatalf("want 1 eviction, 2 entries; got %d, %d", evictions, entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Fatalf("want 3 hits, 1 miss; got %d, %d", hits, misses)
+	}
+}
+
+// TestCachePutOverwrite: re-putting a key replaces the value without growing
+// the cache.
+func TestCachePutOverwrite(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", res(1))
+	c.put("k", res(2))
+	got, ok := c.get("k")
+	if !ok || got.Cycles != 2 {
+		t.Fatalf("want overwritten value 2, got %v ok=%v", got, ok)
+	}
+	if _, _, _, entries := c.stats(); entries != 1 {
+		t.Fatalf("overwrite must not grow the cache, entries=%d", entries)
+	}
+}
+
+// TestCacheCapacityBound: the cache never exceeds its capacity.
+func TestCacheCapacityBound(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("k%d", i), res(uint64(i)))
+	}
+	_, _, evictions, entries := c.stats()
+	if entries != 3 || evictions != 7 {
+		t.Fatalf("want 3 entries, 7 evictions; got %d, %d", entries, evictions)
+	}
+	// The three most recent keys survive.
+	for i := 7; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d should be resident", i)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// JobRequest is the JSON submit body: the sweep-relevant subset of
+// sim.Config. Omitted fields take the paper's Table-1 defaults.
+type JobRequest struct {
+	// Client groups submissions for queue fairness (defaults to "default").
+	Client string `json:"client"`
+
+	Benchmarks   []string `json:"benchmarks"`
+	InstrPerCore uint64   `json:"instrPerCore"`
+	Seed         uint64   `json:"seed"`
+
+	Prefetcher         string `json:"prefetcher"`
+	EMC                bool   `json:"emc"`
+	Runahead           bool   `json:"runahead"`
+	UseBranchPredictor bool   `json:"useBranchPredictor"`
+	MCs                int    `json:"mcs"`
+	IdealDependentHits bool   `json:"idealDependentHits"`
+}
+
+// Config materializes the request as a sim.Config (validated by sim.New at
+// run time; the cheap shape checks happen here so submit can 400 early).
+func (r *JobRequest) Config() (sim.Config, error) {
+	if len(r.Benchmarks) == 0 {
+		return sim.Config{}, fmt.Errorf("benchmarks required")
+	}
+	cfg := sim.Default(r.Benchmarks)
+	if r.InstrPerCore > 0 {
+		cfg.InstrPerCore = r.InstrPerCore
+	}
+	if r.Seed > 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.Prefetcher != "" {
+		cfg.Prefetcher = sim.PrefetcherKind(r.Prefetcher)
+	}
+	cfg.EMCEnabled = r.EMC
+	cfg.RunaheadEnabled = r.Runahead
+	cfg.UseBranchPredictor = r.UseBranchPredictor
+	if r.MCs > 0 {
+		cfg.MCs = r.MCs
+	}
+	cfg.IdealDependentHits = r.IdealDependentHits
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// NewHandler returns the service's HTTP API:
+//
+//	POST /api/v1/jobs                submit (JobRequest JSON) -> Status
+//	GET  /api/v1/jobs                list job statuses
+//	GET  /api/v1/jobs/{id}           one job's Status
+//	GET  /api/v1/jobs/{id}/result    finished job's report JSON
+//	GET  /api/v1/jobs/{id}/progress  NDJSON Status stream until terminal
+//	POST /api/v1/jobs/{id}/cancel    request cancellation
+//	GET  /api/v1/stats               service counters
+//	GET  /metrics                    Prometheus text (reg, when non-nil)
+//	GET  /healthz                    liveness
+func NewHandler(s *Service, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure here
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	j, err := s.Submit(req.Client, cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	st := j.Status()
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK // cache hit: the job is already done
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: ErrNotFound.Error()})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	res, err, terminal := j.Result()
+	switch {
+	case !terminal:
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + string(j.Status().State)})
+	case errors.Is(err, sim.ErrCancelled):
+		if res == nil {
+			writeJSON(w, http.StatusGone, apiError{Error: "job cancelled before producing results"})
+			return
+		}
+		out := report.New(res)
+		out.Cancelled = true
+		writeJSON(w, http.StatusOK, out)
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, report.New(res))
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleProgress streams the job's Status as NDJSON (one object per line,
+// flushed) until the job is terminal or the client disconnects. ?poll=MS
+// overrides the sampling period (default 500 ms). The per-job progress
+// values ride on the simulator's interval-counter machinery via RunHandle.
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	poll := 500 * time.Millisecond
+	if v := r.URL.Query().Get("poll"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			poll = time.Duration(ms) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st := j.Status()
+		if enc.Encode(st) != nil {
+			return // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Loop once more to emit the terminal snapshot.
+		case <-t.C:
+		}
+	}
+}

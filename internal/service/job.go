@@ -1,0 +1,240 @@
+// Package service is the simulation-job subsystem: a bounded, per-client
+// fair job queue feeding a sharded worker pool, a content-addressed result
+// cache keyed by sim.Config.Fingerprint, and (in http.go) the HTTP API the
+// emcserve command exposes.
+//
+// Jobs are content-addressed: two submissions of the same fingerprint
+// coalesce while the first is in flight and hit the result cache after it
+// completes, so sweep workloads (the figure suite, parameter matrices)
+// never re-simulate a configuration. Determinism makes this sound — equal
+// fingerprints imply bit-identical Results (see DESIGN.md §10).
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued -> running -> done | failed | cancelled.
+// Cache hits and coalesced submissions skip straight to the terminal state
+// of the run that did (or will do) the work.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one scheduled simulation. All mutable state is guarded by mu; the
+// done channel closes exactly once when the job reaches a terminal state.
+type Job struct {
+	id        string
+	key       string // cache key (fingerprint + observability variant)
+	client    string
+	shard     int
+	cacheable bool
+	cfg       sim.Config
+
+	mu        sync.Mutex
+	state     State
+	cached    bool // result served from the cache, no simulation ran
+	attempts  int  // simulation attempts (>1 only after panic retries)
+	err       error
+	res       *sim.Result
+	progress  sim.Progress
+	handle    *sim.RunHandle
+	cancelReq bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// Status is a JSON-friendly snapshot of a job.
+type Status struct {
+	ID       string `json:"id"`
+	Client   string `json:"client"`
+	Key      string `json:"key"`
+	Shard    int    `json:"shard"`
+	State    State  `json:"state"`
+	Cached   bool   `json:"cached"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+
+	Cycles       uint64  `json:"cycles"`
+	Retired      uint64  `json:"retiredInstructions"`
+	TargetInstrs uint64  `json:"targetInstructions"`
+	IPC          float64 `json:"ipc"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+}
+
+func newJob(id, key, client string, shard int, cacheable bool, cfg sim.Config) *Job {
+	return &Job{
+		id: id, key: key, client: client, shard: shard, cacheable: cacheable,
+		cfg: cfg, state: StateQueued, submitted: time.Now(),
+		done: make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's cache key.
+func (j *Job) Key() string { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Client: j.client, Key: j.key, Shard: j.shard,
+		State: j.state, Cached: j.cached, Attempts: j.attempts,
+		Cycles: j.progress.Cycles, Retired: j.progress.Retired,
+		TargetInstrs: j.progress.TargetInstrs, IPC: j.progress.IPC,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Wait blocks until the job is terminal or ctx is done, and returns the
+// job's result. Cancelled jobs return the partial result (possibly nil)
+// together with sim.ErrCancelled; failed jobs return their error.
+func (j *Job) Wait(ctx context.Context) (*sim.Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Result returns the job's result if it is terminal (nil otherwise).
+func (j *Job) Result() (*sim.Result, error, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil, false
+	}
+	return j.res, j.err, true
+}
+
+// setProgress records a progress snapshot (called from the simulation
+// goroutine via the RunHandle callback).
+func (j *Job) setProgress(p sim.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// requestCancel marks the job for cancellation and, when a run is in
+// flight, cancels its handle. Queued jobs are finalized by the worker that
+// eventually pops them; terminal jobs ignore the request.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.cancelReq = true
+	if j.handle != nil {
+		j.handle.Cancel()
+	}
+}
+
+// cancelRequested reports whether cancellation has been requested.
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelReq
+}
+
+// beginRunning transitions queued -> running unless cancellation already
+// arrived; it returns false in that case and the caller finalizes.
+func (j *Job) beginRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelReq {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// beginAttempt counts one simulation attempt (including ones that panic
+// before a handle exists).
+func (j *Job) beginAttempt() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
+// attachHandle publishes the run's handle so Cancel can reach it. If a
+// cancellation raced in between beginRunning and here, it returns false and
+// the caller cancels the handle before running.
+func (j *Job) attachHandle(h *sim.RunHandle) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.handle = h
+	return !j.cancelReq
+}
+
+// finalize moves the job to a terminal state exactly once.
+func (j *Job) finalize(state State, res *sim.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.res = res
+	j.err = err
+	j.handle = nil
+	j.finished = time.Now()
+	if res != nil {
+		// Final progress reflects the completed (or partially completed) run.
+		j.progress = sim.Progress{
+			Cycles:       res.Cycles,
+			TargetInstrs: j.cfg.InstrPerCore * uint64(len(j.cfg.Benchmarks)),
+		}
+		for _, c := range res.Cores {
+			j.progress.Retired += c.Stats.Retired
+		}
+		if res.Cycles > 0 {
+			j.progress.IPC = float64(j.progress.Retired) / float64(res.Cycles)
+		}
+	}
+	close(j.done)
+}

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining rejects submissions after Drain/Close began.
+	ErrDraining = errors.New("service: draining")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// panicError wraps a recovered worker panic so it can be distinguished from
+// ordinary simulation errors (panics are retried, errors are not).
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("simulation panic: %v\n%s", e.val, e.stack)
+}
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the number of worker goroutines; each owns one queue
+	// shard. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the total number of queued (not yet running) jobs
+	// across all shards; Submit returns ErrQueueFull beyond it. Default 64.
+	QueueCap int
+	// CacheCap bounds the result cache entry count (LRU). Default 256.
+	CacheCap int
+	// MaxRetries is how many times a job is retried after a worker panic
+	// before it is failed. Default 2.
+	MaxRetries int
+	// ProgressInterval is the per-job progress callback cadence in cycles
+	// (0 = the simulator default).
+	ProgressInterval uint64
+	// Metrics, when non-nil, receives the service gauge group (queue depth,
+	// workers, cache hits, ...) for /metrics export.
+	Metrics *obs.Registry
+}
+
+// serviceGauges lists every gauge the service publishes, in publish order.
+// Exported Prometheus names are emcsim_<name>.
+var serviceGauges = []string{
+	"service_workers",
+	"service_queue_depth",
+	"service_running_jobs",
+	"service_jobs_submitted",
+	"service_jobs_done",
+	"service_jobs_failed",
+	"service_jobs_cancelled",
+	"service_jobs_coalesced",
+	"service_job_retries",
+	"service_cache_hits",
+	"service_cache_misses",
+	"service_cache_entries",
+	"service_cache_evictions",
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queueDepth"`
+	Running    int    `json:"running"`
+	Submitted  uint64 `json:"submitted"`
+	Done       uint64 `json:"done"`
+	Failed     uint64 `json:"failed"`
+	Cancelled  uint64 `json:"cancelled"`
+	Coalesced  uint64 `json:"coalesced"`
+	Retries    uint64 `json:"retries"`
+
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEntries   int    `json:"cacheEntries"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+}
+
+// Service is the simulation-job scheduler: a sharded worker pool over
+// per-shard fair queues, fronted by the content-addressed result cache.
+//
+// Sharding is by cache key, so identical configurations always land on the
+// same worker: a sweep matrix partitions deterministically across the pool
+// and duplicate submissions serialize behind their first run instead of
+// racing it.
+type Service struct {
+	cfg    Config
+	queues []*fairQueue
+	cache  *resultCache
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	coalesced atomic.Uint64
+	retries   atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for listing
+	inflight map[string]*Job
+	seq      uint64
+	draining bool
+
+	wg    sync.WaitGroup
+	group *obs.Group
+}
+
+// New builds a Service and starts its workers.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 256
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	s := &Service{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheCap),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+	}
+	if cfg.Metrics != nil {
+		s.group = cfg.Metrics.NewGroup(map[string]string{"component": "service"}, serviceGauges)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.queues = append(s.queues, newFairQueue())
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	s.publish()
+	return s
+}
+
+// cacheKey derives the content address of a config: the semantic
+// fingerprint, extended by the observability settings that change what the
+// Result carries (the Obs report, the counter log) without changing
+// simulation outcomes. Configs holding function values (CoreTweak, OnChain)
+// are not fingerprintable and report cacheable=false.
+func cacheKey(cfg *sim.Config) (key string, cacheable bool) {
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return "", false
+	}
+	if cfg.Obs.Enabled {
+		fp += fmt.Sprintf("+obs:%d,%t", cfg.Obs.SampleEvery, cfg.Obs.Retain)
+	}
+	if cfg.CounterInterval > 0 {
+		fp += fmt.Sprintf("+ci:%d", cfg.CounterInterval)
+	}
+	return fp, true
+}
+
+// shardOf maps a cache key onto a worker shard.
+func shardOf(key string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Submit schedules cfg for client. Terminal fast paths: a cached result
+// returns an already-done job; an identical in-flight submission returns
+// the existing job (coalescing — note a cancel then cancels it for every
+// submitter). Otherwise the job is queued, subject to backpressure
+// (ErrQueueFull) and drain state (ErrDraining).
+func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
+	if client == "" {
+		client = "default"
+	}
+	key, cacheable := cacheKey(&cfg)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	if !cacheable {
+		// No canonical identity: never cached, never coalesced, but still
+		// deterministically sharded by its unique id.
+		key = "uncacheable:" + id
+	}
+	if cacheable {
+		if res, ok := s.cache.get(key); ok {
+			j := newJob(id, key, client, shardOf(key, len(s.queues)), true, cfg)
+			j.cached = true
+			s.jobs[id] = j
+			s.order = append(s.order, j)
+			s.submitted.Add(1)
+			s.mu.Unlock()
+			j.finalize(StateDone, res, nil)
+			s.completed.Add(1)
+			s.publish()
+			return j, nil
+		}
+		if prev, ok := s.inflight[key]; ok {
+			s.coalesced.Add(1)
+			s.mu.Unlock()
+			s.publish()
+			return prev, nil
+		}
+	}
+	// Reserve a queue slot (global backpressure across shards).
+	for {
+		n := s.queued.Load()
+		if n >= int64(s.cfg.QueueCap) {
+			s.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+		if s.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	shard := shardOf(key, len(s.queues))
+	j := newJob(id, key, client, shard, cacheable, cfg)
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	if cacheable {
+		s.inflight[key] = j
+	}
+	s.submitted.Add(1)
+	s.mu.Unlock()
+
+	if !s.queues[shard].push(j) {
+		// Raced with Close: undo the reservation and reject.
+		s.queued.Add(-1)
+		s.finishJob(j, StateCancelled, nil, ErrDraining)
+		return nil, ErrDraining
+	}
+	s.publish()
+	return j, nil
+}
+
+// Run submits cfg and blocks until the job is terminal (a convenience for
+// in-process callers like the figure suite's -jobs mode).
+func (s *Service) Run(ctx context.Context, client string, cfg sim.Config) (*sim.Result, error) {
+	j, err := s.Submit(client, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Job looks a job up by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists job statuses in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job: queued jobs finalize as cancelled
+// when a worker reaches them, running jobs stop at the next cycle boundary.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.requestCancel()
+	return nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	h, m, ev, entries := s.cache.stats()
+	return Stats{
+		Workers:    len(s.queues),
+		QueueDepth: int(s.queued.Load()),
+		Running:    int(s.running.Load()),
+		Submitted:  s.submitted.Load(),
+		Done:       s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Cancelled:  s.cancelled.Load(),
+		Coalesced:  s.coalesced.Load(),
+		Retries:    s.retries.Load(),
+
+		CacheHits:      h,
+		CacheMisses:    m,
+		CacheEntries:   entries,
+		CacheEvictions: ev,
+	}
+}
+
+// publish pushes the current counters into the metrics group.
+func (s *Service) publish() {
+	if s.group == nil {
+		return
+	}
+	st := s.Stats()
+	s.group.Publish([]float64{
+		float64(st.Workers),
+		float64(st.QueueDepth),
+		float64(st.Running),
+		float64(st.Submitted),
+		float64(st.Done),
+		float64(st.Failed),
+		float64(st.Cancelled),
+		float64(st.Coalesced),
+		float64(st.Retries),
+		float64(st.CacheHits),
+		float64(st.CacheMisses),
+		float64(st.CacheEntries),
+		float64(st.CacheEvictions),
+	})
+}
+
+// Drain stops intake (Submit returns ErrDraining) and waits for every
+// queued and running job to finish, or for ctx.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		q.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.publish()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels every non-terminal job and waits for the workers to exit.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
+	for _, q := range s.queues {
+		q.close()
+	}
+	s.wg.Wait()
+	s.publish()
+	return nil
+}
+
+// worker owns shard i: it pops jobs until the shard closes and empties.
+func (s *Service) worker(i int) {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queues[i].pop()
+		if !ok {
+			return
+		}
+		s.queued.Add(-1)
+		s.execute(j)
+		s.publish()
+	}
+}
+
+// execute runs one job to a terminal state, retrying bounded times after
+// worker panics. The recover boundary is runOnce, so a panicking simulation
+// never takes the worker goroutine down.
+func (s *Service) execute(j *Job) {
+	if !j.beginRunning() {
+		s.finishJob(j, StateCancelled, nil, sim.ErrCancelled)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	for attempt := 1; ; attempt++ {
+		res, err := s.runOnce(j)
+		switch {
+		case err == nil:
+			if j.cacheable {
+				s.cache.put(j.key, res)
+			}
+			s.finishJob(j, StateDone, res, nil)
+			return
+		case errors.Is(err, sim.ErrCancelled):
+			s.finishJob(j, StateCancelled, res, err)
+			return
+		default:
+			var pe *panicError
+			if errors.As(err, &pe) && attempt <= s.cfg.MaxRetries && !j.cancelRequested() {
+				s.retries.Add(1)
+				continue
+			}
+			s.finishJob(j, StateFailed, nil, err)
+			return
+		}
+	}
+}
+
+// runOnce performs one simulation attempt, converting panics into errors.
+func (s *Service) runOnce(j *Job) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{val: v, stack: debug.Stack()}
+		}
+	}()
+	j.beginAttempt()
+	sys, err := sim.New(j.cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := sys.NewRunHandle(s.cfg.ProgressInterval, j.setProgress)
+	if !j.attachHandle(h) {
+		h.Cancel() // cancellation raced in between beginRunning and here
+	}
+	return h.Run()
+}
+
+// finishJob finalizes the job, maintains the in-flight index, and bumps the
+// terminal counters.
+func (s *Service) finishJob(j *Job, state State, res *sim.Result, err error) {
+	if j.cacheable {
+		s.mu.Lock()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.mu.Unlock()
+	}
+	j.finalize(state, res, err)
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCancelled:
+		s.cancelled.Add(1)
+	}
+}

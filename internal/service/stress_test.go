@@ -1,0 +1,95 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestConcurrentSubmitCancelStress hammers the scheduler from many
+// goroutines — duplicate submissions (coalescing + cache hits), eviction
+// pressure from a tiny cache, racing cancels, and status reads — and then
+// checks the books balance. Run under -race this is the queue/cache data-race
+// suite required by the race target in the Makefile.
+func TestConcurrentSubmitCancelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	s := New(Config{Workers: 4, QueueCap: 256, CacheCap: 2})
+	defer s.Close()
+
+	const (
+		clients   = 4
+		perClient = 8
+		seeds     = 3 // few distinct configs => plenty of coalescing/cache traffic
+	)
+	mk := func(seed uint64) sim.Config {
+		cfg := sim.Default([]string{"mcf", "sphinx3", "soplex", "libquantum"})
+		cfg.InstrPerCore = 300
+		cfg.Seed = seed
+		return cfg
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		submitted []*Job
+	)
+	for c := 0; c < clients; c++ {
+		client := string(rune('a' + c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				j, err := s.Submit(client, mk(uint64(1+i%seeds)))
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					continue
+				case err != nil:
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				submitted = append(submitted, j)
+				mu.Unlock()
+				// Poke the read and cancel paths concurrently.
+				_ = j.Status()
+				if i%5 == 4 {
+					_ = s.Cancel(j.ID())
+				}
+				_ = s.Stats()
+				_ = s.Jobs()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	jobs := append([]*Job(nil), submitted...)
+	mu.Unlock()
+	for _, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil && !errors.Is(err, sim.ErrCancelled) {
+			t.Fatalf("job %s: %v", j.ID(), err)
+		}
+		if st := j.Status(); !st.State.Terminal() {
+			t.Fatalf("job %s not terminal: %s", st.ID, st.State)
+		}
+	}
+
+	st := s.Stats()
+	if st.Done+st.Failed+st.Cancelled == 0 {
+		t.Fatal("nothing reached a terminal state")
+	}
+	if st.Failed != 0 {
+		t.Fatalf("unexpected failures: %+v", st)
+	}
+	if got := st.Done + st.Cancelled; got != st.Submitted {
+		t.Fatalf("terminal jobs (%d) != submitted (%d): %+v", got, st.Submitted, st)
+	}
+	if st.CacheEntries > 2 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+}

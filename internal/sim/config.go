@@ -88,7 +88,7 @@ type Config struct {
 	// Metrics, when non-nil, receives periodic live snapshots of the
 	// system's counters (for /metrics, /debug/vars). Each System registers
 	// its own Group tagged with MetricsLabels.
-	Metrics       *obs.Registry
+	Metrics       *obs.Registry `json:"-"`
 	MetricsLabels map[string]string
 
 	// CounterInterval, when >0, samples every published counter into an
@@ -97,11 +97,13 @@ type Config struct {
 	CounterInterval uint64
 
 	// CoreTweak optionally adjusts each core's configuration (ablations).
-	CoreTweak func(*cpu.Config)
+	// Function-valued: such configs have no canonical identity and cannot
+	// be fingerprinted (see Fingerprint).
+	CoreTweak func(*cpu.Config) `json:"-"`
 
 	// OnChain, when set, observes every chain as it is shipped to the EMC
 	// (inspection/debugging; must not mutate the chain).
-	OnChain func(*cpu.Chain)
+	OnChain func(*cpu.Chain) `json:"-"`
 }
 
 // Default returns the Table-1 configuration for the given benchmarks, with

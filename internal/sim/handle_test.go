@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunHandleDeterminism: a handled run with progress callbacks enabled
+// must produce a Result bit-identical to a plain Run of the same config.
+func TestRunHandleDeterminism(t *testing.T) {
+	cfg := skipCfg([]string{"mcf", "lbm", "milc", "omnetpp"}, 5)
+	cfg.EMCEnabled = true
+	cfg.Prefetcher = PFGHB
+	want, wantCycles, _ := runHashed(t, cfg)
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	h := sys.NewRunHandle(500, func(p Progress) { snaps = append(snaps, p) })
+	res, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash() != want {
+		t.Fatalf("handled run hash %#x differs from plain run %#x", res.Hash(), want)
+	}
+	if res.Cycles != wantCycles {
+		t.Fatalf("handled run cycles %d differ from plain run %d", res.Cycles, wantCycles)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	var last Progress
+	for i, p := range snaps {
+		if i > 0 && p.Cycles <= last.Cycles {
+			t.Fatalf("progress cycles not increasing: %d then %d", last.Cycles, p.Cycles)
+		}
+		if p.Retired < last.Retired {
+			t.Fatalf("retired count decreased: %d then %d", last.Retired, p.Retired)
+		}
+		if p.TargetInstrs != cfg.InstrPerCore*4 {
+			t.Fatalf("target instrs %d, want %d", p.TargetInstrs, cfg.InstrPerCore*4)
+		}
+		last = p
+	}
+}
+
+// TestRunHandleCancelBeforeStart: cancelling before Run returns immediately
+// with a partial (zero-cycle) result and ErrCancelled.
+func TestRunHandleCancelBeforeStart(t *testing.T) {
+	sys, err := New(skipCfg([]string{"mcf", "mcf", "mcf", "mcf"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sys.NewRunHandle(0, nil)
+	h.Cancel()
+	res, err := h.Run()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Cycles != 0 {
+		t.Fatalf("cancelled-before-start run simulated %d cycles", res.Cycles)
+	}
+}
+
+// TestRunHandleCancelMidRun cancels from another goroutine once progress
+// shows the run is under way, and checks the partial result stops early.
+func TestRunHandleCancelMidRun(t *testing.T) {
+	cfg := skipCfg([]string{"mcf", "mcf", "mcf", "mcf"}, 2)
+	cfg.InstrPerCore = 200_000 // long enough that cancellation lands mid-run
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	var once bool
+	h := sys.NewRunHandle(200, func(Progress) {
+		if !once {
+			once = true
+			close(started)
+		}
+	})
+	go func() {
+		select {
+		case <-started:
+		case <-time.After(30 * time.Second):
+		}
+		h.Cancel()
+	}()
+	res, err := h.Run()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !h.Cancelled() {
+		t.Fatal("handle does not report cancelled")
+	}
+	var retired uint64
+	for _, c := range res.Cores {
+		retired += c.Stats.Retired
+	}
+	if retired >= cfg.InstrPerCore*4 {
+		t.Fatalf("run retired its full budget (%d) despite cancellation", retired)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("cancellation landed before any simulation happened")
+	}
+}

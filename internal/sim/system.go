@@ -480,7 +480,13 @@ func (s *System) coreStore(coreID int, lineAddr, vaddr uint64) {
 
 // Run simulates until every core finishes (or MaxCycles) and returns the
 // collected Result.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (*Result, error) { return s.runLoop(nil) }
+
+// runLoop is the main loop shared by Run and RunHandle.Run. The handle, when
+// present, only reads simulator state (cancellation flag, progress
+// snapshots), so a handled run that is never cancelled stays bit-identical
+// to a plain Run.
+func (s *System) runLoop(h *RunHandle) (*Result, error) {
 	for {
 		done := true
 		for _, c := range s.cores {
@@ -494,6 +500,14 @@ func (s *System) Run() (*Result, error) {
 		}
 		if s.now >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (deadlock?)", s.cfg.MaxCycles)
+		}
+		if h != nil {
+			if h.canceled.Load() {
+				return s.collect(), ErrCancelled
+			}
+			if h.fn != nil && s.now >= h.next {
+				h.emit(s)
+			}
 		}
 		s.step()
 	}

@@ -1,0 +1,92 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end service smoke (make serve-smoke).
+#
+# Boots emcserve on an ephemeral port, then via emcctl:
+#   1. submits a tiny job and waits for it (state=done, cached=false),
+#   2. resubmits the identical job and checks it is a cache hit
+#      (cached=true) confirmed by the emcsim_service_cache_hits metric,
+#   3. shuts the server down with SIGTERM and checks the graceful drain.
+set -eu
+
+GO="${GO:-go}"
+dir=.smoke-serve
+srvpid=""
+rm -rf "$dir"
+mkdir -p "$dir"
+trap 'rm -rf "$dir"; [ -n "$srvpid" ] && kill "$srvpid" 2>/dev/null || true' EXIT
+
+"$GO" build -o "$dir/emcserve" ./cmd/emcserve
+"$GO" build -o "$dir/emcctl" ./cmd/emcctl
+
+"$dir/emcserve" -addr 127.0.0.1:0 -workers 2 \
+    >"$dir/serve.out" 2>"$dir/serve.err" &
+srvpid=$!
+
+# The bound address is printed as "emcserve listening on http://ADDR".
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*listening on http://\([0-9.:]*\).*|\1|p' "$dir/serve.out" 2>/dev/null | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: server address never appeared" >&2
+    cat "$dir/serve.out" "$dir/serve.err" >&2 || true
+    exit 1
+fi
+server="http://$addr"
+
+submit() {
+    "$dir/emcctl" -server "$server" submit \
+        -bench mcf,sphinx3,soplex,libquantum -n 2000 -emc -wait
+}
+
+# 1. First submission simulates.
+submit >"$dir/first.json"
+grep -q '"state": "done"' "$dir/first.json" || {
+    echo "serve-smoke: first job did not finish" >&2
+    cat "$dir/first.json" "$dir/serve.err" >&2 || true
+    exit 1
+}
+grep -q '"cached": false' "$dir/first.json" || {
+    echo "serve-smoke: first job should not be a cache hit" >&2
+    cat "$dir/first.json" >&2
+    exit 1
+}
+echo "first run: ok"
+
+# 2. Identical resubmission is a cache hit.
+submit >"$dir/second.json"
+grep -q '"cached": true' "$dir/second.json" || {
+    echo "serve-smoke: resubmit was not served from the cache" >&2
+    cat "$dir/second.json" >&2
+    exit 1
+}
+"$dir/emcctl" -server "$server" metrics >"$dir/metrics.txt"
+hits=$(sed -n 's/^emcsim_service_cache_hits{[^}]*} //p' "$dir/metrics.txt" | head -n 1)
+if [ "${hits:-0}" -lt 1 ] 2>/dev/null; then
+    echo "serve-smoke: emcsim_service_cache_hits not incremented (got '$hits')" >&2
+    cat "$dir/metrics.txt" >&2
+    exit 1
+fi
+echo "cached resubmit: ok ($hits cache hit(s))"
+
+# 3. Graceful drain on SIGTERM.
+kill -TERM "$srvpid"
+for _ in $(seq 1 100); do
+    kill -0 "$srvpid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$srvpid" 2>/dev/null; then
+    echo "serve-smoke: server did not exit after SIGTERM" >&2
+    kill -9 "$srvpid" 2>/dev/null || true
+    exit 1
+fi
+wait "$srvpid" 2>/dev/null || true
+grep -q "drained" "$dir/serve.out" || {
+    echo "serve-smoke: no drain summary in server output" >&2
+    cat "$dir/serve.out" "$dir/serve.err" >&2 || true
+    exit 1
+}
+echo "graceful drain: ok"
+echo "serve-smoke: ok"
