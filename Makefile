@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments trace-smoke serve-smoke clean
+.PHONY: all build vet test race bench experiments trace-smoke serve-smoke chaos kill-smoke clean
 
 all: build test
 
@@ -32,6 +32,19 @@ trace-smoke:
 # scripts/serve_smoke.sh).
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# Chaos suite: 50 seeded fault schedules through the service under the race
+# detector (failpoint injection, random cancels, durable-cache restarts with
+# corruption). Deterministic per seed; see internal/service/chaos_test.go.
+chaos:
+	EMCSIM_CHAOS_SCHEDULES=50 $(GO) test -race -run TestChaosSchedules -count=1 ./internal/service/
+
+# Crash-recovery smoke: boot emcserve with a durable cache, compute a
+# result, SIGKILL the server mid-sweep, restart it over the same directory,
+# and verify the resubmitted job is served from the durable cache with a
+# byte-identical result (see scripts/kill_smoke.sh).
+kill-smoke:
+	GO="$(GO)" sh scripts/kill_smoke.sh
 
 # Microbenchmark smoke run: one iteration of every benchmark in the
 # simulator core, interconnect, and DRAM packages, captured as JSON so a

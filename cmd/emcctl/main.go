@@ -8,6 +8,16 @@
 //	emcctl [-server URL] jobs
 //	emcctl [-server URL] stats
 //	emcctl [-server URL] metrics              # raw Prometheus text
+//
+// Requests carry a deadline (-timeout) and retry transient failures —
+// connection errors and 429/502/503/504 — with jittered exponential backoff
+// (-retries, -retry-base). Retrying a submit is safe: jobs are
+// content-addressed, so a resubmission of the same configuration coalesces
+// with or cache-hits the first instead of running twice. Other 4xx statuses
+// are permanent and never retried.
+//
+// Exit codes: 0 success, 1 permanent server error (or failed job with
+// -wait), 2 usage, 3 server unreachable after all retries.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -26,7 +37,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: emcctl [-server URL] <submit|status|result|watch|cancel|jobs|stats|metrics> [args]")
+	fmt.Fprintln(os.Stderr, "usage: emcctl [flags] <submit|status|result|watch|cancel|jobs|stats|metrics> [args]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -36,33 +47,49 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// client wraps HTTP access with deadlines and transient-failure retries.
+type client struct {
+	base      string
+	http      *http.Client
+	retries   int
+	retryBase time.Duration
+}
+
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "emcserve base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (watch: connect deadline)")
+	retries := flag.Int("retries", 4, "retries for connection errors and retryable statuses (429/502/503/504)")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "initial backoff; doubles per retry with jitter")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
-	base := strings.TrimRight(*server, "/")
+	c := &client{
+		base:      strings.TrimRight(*server, "/"),
+		http:      &http.Client{Timeout: *timeout},
+		retries:   *retries,
+		retryBase: *retryBase,
+	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
 	switch cmd {
 	case "submit":
-		submit(base, args)
+		c.submit(args)
 	case "status":
-		getJSON(base, "/api/v1/jobs/"+one(args, cmd))
+		c.getJSON("/api/v1/jobs/" + one(args, cmd))
 	case "result":
-		getJSON(base, "/api/v1/jobs/"+one(args, cmd)+"/result")
+		c.getJSON("/api/v1/jobs/" + one(args, cmd) + "/result")
 	case "watch":
-		watch(base, one(args, cmd))
+		c.watch(one(args, cmd))
 	case "cancel":
-		post(base, "/api/v1/jobs/"+one(args, cmd)+"/cancel", nil)
+		c.post("/api/v1/jobs/"+one(args, cmd)+"/cancel", nil)
 	case "jobs":
-		getJSON(base, "/api/v1/jobs")
+		c.getJSON("/api/v1/jobs")
 	case "stats":
-		getJSON(base, "/api/v1/stats")
+		c.getJSON("/api/v1/stats")
 	case "metrics":
-		raw(base, "/metrics")
+		c.raw("/metrics")
 	default:
 		usage()
 	}
@@ -76,7 +103,90 @@ func one(args []string, cmd string) string {
 	return args[0]
 }
 
-func submit(base string, args []string) {
+// retryableStatus reports whether a response status is worth retrying:
+// backpressure and gateway hiccups are; every other 4xx is a permanent
+// verdict about the request itself.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one request with retries. It returns the response body and
+// status code; permanent HTTP errors and exhausted retries exit directly
+// (code 1 for server verdicts, 3 when the server was never reachable).
+func (c *client) do(method, path string, body []byte) ([]byte, int) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			// Transport-level failure: connection refused, DNS, timeout.
+			// The server may just not be up yet — retryable, but with its
+			// own exit code so scripts can tell "down" from "said no".
+			lastErr = err
+			if attempt >= c.retries {
+				fmt.Fprintf(os.Stderr, "emcctl: server unreachable after %d attempts: %v\n", attempt+1, lastErr)
+				os.Exit(3)
+			}
+			c.backoff(attempt)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			if attempt >= c.retries {
+				fmt.Fprintf(os.Stderr, "emcctl: server unreachable after %d attempts: %v\n", attempt+1, lastErr)
+				os.Exit(3)
+			}
+			c.backoff(attempt)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && attempt < c.retries {
+			c.backoff(attempt)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
+			os.Exit(1)
+		}
+		return data, resp.StatusCode
+	}
+}
+
+// backoff sleeps for retryBase*2^attempt, scaled by a jitter in [0.5, 1.5)
+// so a herd of retrying clients decorrelates.
+func (c *client) backoff(attempt int) {
+	d := c.retryBase << uint(attempt)
+	time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
+}
+
+func (c *client) get(path string) []byte {
+	data, _ := c.do(http.MethodGet, path, nil)
+	return data
+}
+
+func (c *client) getJSON(path string) {
+	pretty(c.get(path))
+}
+
+func (c *client) post(path string, body []byte) []byte {
+	data, _ := c.do(http.MethodPost, path, body)
+	pretty(data)
+	return data
+}
+
+func (c *client) submit(args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	bench := fs.String("bench", "mcf,sphinx3,soplex,libquantum", "comma-separated benchmarks, one per core")
 	n := fs.Uint64("n", 30000, "instructions per core")
@@ -107,7 +217,10 @@ func submit(base string, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	data := post(base, "/api/v1/jobs", body)
+	// Submission is idempotent (content-addressed), so do's retry loop may
+	// safely resubmit: a duplicate coalesces with the in-flight job or hits
+	// the result cache.
+	data := c.post("/api/v1/jobs", body)
 	if !*wait {
 		return
 	}
@@ -117,7 +230,7 @@ func submit(base string, args []string) {
 	}
 	for !st.State.Terminal() {
 		time.Sleep(200 * time.Millisecond)
-		data = get(base, "/api/v1/jobs/"+st.ID)
+		data = c.get("/api/v1/jobs/" + st.ID)
 		if err := json.Unmarshal(data, &st); err != nil {
 			fatal(err)
 		}
@@ -128,71 +241,38 @@ func submit(base string, args []string) {
 	}
 }
 
-func watch(base, id string) {
-	resp, err := http.Get(base + "/api/v1/jobs/" + id + "/progress?poll=200")
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fatalStatus(resp)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		fmt.Println(sc.Text())
+// watch streams NDJSON progress. The connect itself goes through the retry
+// policy; once streaming, EOF ends the watch (no mid-stream resume).
+func (c *client) watch(id string) {
+	path := "/api/v1/jobs/" + id + "/progress?poll=200"
+	for attempt := 0; ; attempt++ {
+		// Streams must not carry the client-wide deadline: a long job would
+		// be cut off mid-watch. Connection errors still retry.
+		resp, err := (&http.Client{}).Get(c.base + path)
+		if err != nil {
+			if attempt >= c.retries {
+				fmt.Fprintf(os.Stderr, "emcctl: server unreachable after %d attempts: %v\n", attempt+1, err)
+				os.Exit(3)
+			}
+			c.backoff(attempt)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatalStatus(resp)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			fmt.Println(sc.Text())
+		}
+		return
 	}
 }
 
-func get(base, path string) []byte {
-	resp, err := http.Get(base + path)
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatal(err)
-	}
-	if resp.StatusCode >= 400 {
-		fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
-		os.Exit(1)
-	}
-	return data
-}
-
-func getJSON(base, path string) {
-	pretty(get(base, path))
-}
-
-func post(base, path string, body []byte) []byte {
-	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatal(err)
-	}
-	if resp.StatusCode >= 400 {
-		fmt.Fprintf(os.Stderr, "emcctl: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
-		os.Exit(1)
-	}
-	pretty(data)
-	return data
-}
-
-func raw(base, path string) {
-	resp, err := http.Get(base + path)
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fatalStatus(resp)
-	}
-	io.Copy(os.Stdout, resp.Body) //nolint:errcheck // best-effort dump
+func (c *client) raw(path string) {
+	data, _ := c.do(http.MethodGet, path, nil)
+	os.Stdout.Write(data) //nolint:errcheck // best-effort dump
 }
 
 func fatalStatus(resp *http.Response) {

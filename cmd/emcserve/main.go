@@ -6,11 +6,18 @@
 // Examples:
 //
 //	emcserve -addr 127.0.0.1:8080 -workers 4
+//	emcserve -cache-dir /var/lib/emcsim/cache   # results survive restarts
 //	emcctl -server http://127.0.0.1:8080 submit -bench mcf,mcf,mcf,mcf -emc -wait
 //
 // SIGINT/SIGTERM drain gracefully: intake stops, queued and running jobs
 // finish (bounded by -drain-timeout), then the process exits. A second
-// signal cancels everything still running.
+// signal cancels everything still running. With -cache-dir the durable
+// result cache is flushed before exit, and the final log line reports the
+// disposition of jobs that did not finish: cacheable jobs are resumable (an
+// identical resubmit recomputes or reloads them), uncacheable ones are lost.
+//
+// Fault injection: EMCSIM_FAILPOINTS="site=policy;..." arms failpoints at
+// boot (see internal/fault for the site catalog and policy grammar).
 package main
 
 import (
@@ -21,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -34,17 +43,35 @@ func main() {
 	queueCap := flag.Int("queue-cap", 64, "max queued jobs before submissions get 429")
 	cacheCap := flag.Int("cache-cap", 256, "result cache entries (LRU)")
 	retries := flag.Int("max-retries", 2, "retries after a worker panic before a job fails")
+	cacheDir := flag.String("cache-dir", "", "durable result cache directory (empty = in-memory only)")
+	hungTimeout := flag.Duration("hung-timeout", 0, "mark running jobs hung after this much progress silence (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	flag.Parse()
 
+	if err := fault.EnableFromSpec(os.Getenv("EMCSIM_FAILPOINTS")); err != nil {
+		fmt.Fprintln(os.Stderr, "emcserve:", err)
+		os.Exit(1)
+	}
+
 	reg := obs.NewRegistry()
-	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueCap:   *queueCap,
-		CacheCap:   *cacheCap,
-		MaxRetries: *retries,
-		Metrics:    reg,
+	svc, err := service.Open(service.Config{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		CacheCap:    *cacheCap,
+		MaxRetries:  *retries,
+		CacheDir:    *cacheDir,
+		HungTimeout: *hungTimeout,
+		Metrics:     reg,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emcserve:", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		st := svc.Stats()
+		fmt.Printf("emcserve: durable cache %s: %d results loaded, %d quarantined\n",
+			*cacheDir, st.CacheLoaded, st.CacheQuarantined)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,7 +109,29 @@ func main() {
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	srv.Shutdown(shutCtx) //nolint:errcheck // exiting anyway
+
+	// Disposition of jobs that did not reach done: cacheable jobs are
+	// resumable — resubmitting the same configuration is idempotent (it
+	// reloads from the durable cache or deterministically recomputes) —
+	// while uncacheable jobs (function-valued configs) are lost with the
+	// process. The final line is the crash-recovery audit trail.
+	var resumable, lost int
+	for _, js := range svc.Jobs() {
+		if js.State.Terminal() && js.State != service.StateCancelled {
+			continue // done and failed jobs ran to their verdict
+		}
+		if strings.HasPrefix(js.Key, "uncacheable:") {
+			lost++
+		} else {
+			resumable++
+		}
+	}
 	st := svc.Stats()
-	fmt.Printf("emcserve: drained: %d done, %d failed, %d cancelled, %d cache hits\n",
-		st.Done, st.Failed, st.Cancelled, st.CacheHits)
+	durable := "no durable cache"
+	if *cacheDir != "" {
+		durable = fmt.Sprintf("durable cache flushed (%d records persisted, %d persist errors)",
+			st.CachePersisted, st.CachePersistErrs)
+	}
+	fmt.Printf("emcserve: shutdown: %d done, %d failed, %d cancelled; in-flight: %d resumable, %d lost; %s\n",
+		st.Done, st.Failed, st.Cancelled, resumable, lost, durable)
 }

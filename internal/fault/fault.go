@@ -1,0 +1,296 @@
+// Package fault is a deterministic failpoint-injection framework: named
+// sites compiled into production code paths, armed with seeded trigger
+// policies by tests (or by the EMCSIM_FAILPOINTS environment variable) and
+// disarmed the rest of the time. The design constraint is the hot path: a
+// disarmed site costs exactly one atomic pointer load, no branches taken,
+// no allocation — cheap enough to live inside the simulator's cycle loop
+// without disturbing its zero-allocation benchmarks.
+//
+// A site fires according to its Trigger policy:
+//
+//	always          every check fires
+//	oneshot         the first check fires, then the site disarms itself
+//	after:N         checks beyond the first N fire
+//	after:N:oneshot exactly the (N+1)th check fires, then the site disarms
+//	prob:P[:SEED]   each check fires with probability P (seeded xorshift,
+//	                so a given arm-sequence is reproducible)
+//
+// All randomness is a private xorshift64* stream seeded at Enable time, so
+// chaos schedules replay exactly from their seed. What a firing *does* is
+// the site's business: callers use Fire (boolean), Err (injected error), or
+// MustPanic (injected panic) at the site.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the root of every error produced by an armed failpoint;
+// match with errors.Is. Injected panics carry an *InjectedPanic value.
+var ErrInjected = errors.New("fault: injected")
+
+// InjectedError is the error Err returns when a site fires.
+type InjectedError struct {
+	Site string
+}
+
+func (e *InjectedError) Error() string { return "fault: injected at " + e.Site }
+
+// Unwrap links the error to ErrInjected for errors.Is.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// InjectedPanic is the value MustPanic panics with when a site fires, so
+// recover boundaries can tell an injected crash from a real bug.
+type InjectedPanic struct {
+	Site string
+}
+
+func (p *InjectedPanic) String() string { return "fault: injected panic at " + p.Site }
+
+// Error makes the panic value an error too, so recover boundaries that wrap
+// panic values into error chains keep errors.Is(err, ErrInjected) working.
+func (p *InjectedPanic) Error() string { return p.String() }
+
+// Unwrap links the value to ErrInjected for errors.Is.
+func (p *InjectedPanic) Unwrap() error { return ErrInjected }
+
+// Trigger is an armed site's firing policy. The zero value is "always".
+type Trigger struct {
+	// After suppresses the first After checks.
+	After uint64
+	// Prob, when in (0,1), fires probabilistically per check (seeded).
+	// 0 and >=1 both mean "fire deterministically".
+	Prob float64
+	// Once disarms the site after its first firing.
+	Once bool
+	// Seed seeds the probabilistic stream (0 picks a fixed default).
+	Seed uint64
+}
+
+// Point is one named failpoint site. Declare package-level with Register;
+// check with Fire/Err/MustPanic at the site. The nil-policy fast path is a
+// single atomic load.
+type Point struct {
+	name   string
+	armed  atomic.Pointer[armedState]
+	checks atomic.Uint64 // checks while armed (diagnostics)
+	fires  atomic.Uint64 // total firings (diagnostics, survives disarm)
+}
+
+// armedState is the mutable policy evaluation state behind an armed Point.
+type armedState struct {
+	trig  Trigger
+	mu    sync.Mutex
+	seen  uint64 // checks since armed
+	prng  uint64 // xorshift64* state
+	spent bool   // oneshot already fired
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Point{}
+)
+
+// Register declares (or returns the existing) site with the given name.
+// Call it from a package-level var so the site exists before any Enable.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Lookup returns the registered site, if any.
+func Lookup(name string) (*Point, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Sites lists every registered site name, sorted.
+func Sites() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the site's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Enable arms the site with the trigger. Re-enabling replaces the previous
+// policy and restarts its counters/stream.
+func (p *Point) Enable(t Trigger) {
+	seed := t.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	p.armed.Store(&armedState{trig: t, prng: seed})
+}
+
+// Disable disarms the site; checks return to the one-atomic-load fast path.
+func (p *Point) Disable() { p.armed.Store(nil) }
+
+// Armed reports whether the site currently has a policy.
+func (p *Point) Armed() bool { return p.armed.Load() != nil }
+
+// Fires returns how many times the site has fired since process start.
+func (p *Point) Fires() uint64 { return p.fires.Load() }
+
+// Fire checks the site: it returns true when the armed policy says this
+// check fires. Disarmed sites return false after one atomic load.
+func (p *Point) Fire() bool {
+	st := p.armed.Load()
+	if st == nil {
+		return false
+	}
+	return p.fireSlow(st)
+}
+
+func (p *Point) fireSlow(st *armedState) bool {
+	p.checks.Add(1)
+	st.mu.Lock()
+	if st.spent {
+		st.mu.Unlock()
+		return false
+	}
+	st.seen++
+	if st.seen <= st.trig.After {
+		st.mu.Unlock()
+		return false
+	}
+	if pr := st.trig.Prob; pr > 0 && pr < 1 {
+		// xorshift64* step; top 53 bits as a uniform float in [0,1).
+		x := st.prng
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		st.prng = x
+		if float64((x*0x2545F4914F6CDD1D)>>11)/(1<<53) >= pr {
+			st.mu.Unlock()
+			return false
+		}
+	}
+	if st.trig.Once {
+		st.spent = true
+	}
+	st.mu.Unlock()
+	p.fires.Add(1)
+	return true
+}
+
+// Err returns an *InjectedError when the site fires, nil otherwise.
+func (p *Point) Err() error {
+	if p.Fire() {
+		return &InjectedError{Site: p.name}
+	}
+	return nil
+}
+
+// MustPanic panics with an *InjectedPanic when the site fires.
+func (p *Point) MustPanic() {
+	if p.Fire() {
+		panic(&InjectedPanic{Site: p.name})
+	}
+}
+
+// DisableAll disarms every registered site (test teardown).
+func DisableAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		p.armed.Store(nil)
+	}
+}
+
+// ParseTrigger parses one policy spec (the grammar in the package comment).
+func ParseTrigger(spec string) (Trigger, error) {
+	parts := strings.Split(spec, ":")
+	var t Trigger
+	switch parts[0] {
+	case "always":
+		if len(parts) != 1 {
+			return Trigger{}, fmt.Errorf("fault: always takes no arguments: %q", spec)
+		}
+	case "oneshot":
+		if len(parts) != 1 {
+			return Trigger{}, fmt.Errorf("fault: oneshot takes no arguments: %q", spec)
+		}
+		t.Once = true
+	case "after":
+		if len(parts) < 2 || len(parts) > 3 || (len(parts) == 3 && parts[2] != "oneshot") {
+			return Trigger{}, fmt.Errorf("fault: want after:N[:oneshot], got %q", spec)
+		}
+		n, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return Trigger{}, fmt.Errorf("fault: bad after count %q", parts[1])
+		}
+		t.After = n
+		t.Once = len(parts) == 3
+	case "prob":
+		if len(parts) < 2 || len(parts) > 3 {
+			return Trigger{}, fmt.Errorf("fault: want prob:P[:seedN], got %q", spec)
+		}
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return Trigger{}, fmt.Errorf("fault: bad probability %q", parts[1])
+		}
+		t.Prob = p
+		if len(parts) == 3 {
+			s, err := strconv.ParseUint(strings.TrimPrefix(parts[2], "seed"), 10, 64)
+			if err != nil || !strings.HasPrefix(parts[2], "seed") {
+				return Trigger{}, fmt.Errorf("fault: bad seed %q", parts[2])
+			}
+			t.Seed = s
+		}
+	default:
+		return Trigger{}, fmt.Errorf("fault: unknown trigger %q", spec)
+	}
+	return t, nil
+}
+
+// EnableFromSpec arms sites from a "site=policy;site=policy" string (the
+// EMCSIM_FAILPOINTS format). Unknown sites are an error — a typo silently
+// injecting nothing would defeat the point. Empty spec is a no-op.
+func EnableFromSpec(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, ent := range strings.Split(spec, ";") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, pol, ok := strings.Cut(ent, "=")
+		if !ok {
+			return fmt.Errorf("fault: bad failpoint entry %q (want site=policy)", ent)
+		}
+		p, found := Lookup(strings.TrimSpace(name))
+		if !found {
+			return fmt.Errorf("fault: unknown failpoint %q (known: %s)",
+				name, strings.Join(Sites(), ", "))
+		}
+		t, err := ParseTrigger(strings.TrimSpace(pol))
+		if err != nil {
+			return err
+		}
+		p.Enable(t)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// site returns a fresh uniquely named point (tests share the process-global
+// registry, so names must not collide across test functions).
+func site(t *testing.T, name string) *Point {
+	t.Helper()
+	p := Register("test/" + t.Name() + "/" + name)
+	t.Cleanup(p.Disable)
+	return p
+}
+
+func TestDisarmedNeverFires(t *testing.T) {
+	p := site(t, "off")
+	for i := 0; i < 100; i++ {
+		if p.Fire() {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if p.Err() != nil || p.Fires() != 0 {
+		t.Fatalf("disarmed site produced effects: fires=%d", p.Fires())
+	}
+}
+
+func TestAlways(t *testing.T) {
+	p := site(t, "always")
+	p.Enable(Trigger{})
+	for i := 0; i < 5; i++ {
+		if !p.Fire() {
+			t.Fatalf("always policy skipped check %d", i)
+		}
+	}
+	p.Disable()
+	if p.Fire() {
+		t.Fatal("fired after Disable")
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	p := site(t, "oneshot")
+	p.Enable(Trigger{Once: true})
+	if !p.Fire() {
+		t.Fatal("oneshot did not fire on first check")
+	}
+	for i := 0; i < 5; i++ {
+		if p.Fire() {
+			t.Fatal("oneshot fired twice")
+		}
+	}
+	if p.Fires() != 1 {
+		t.Fatalf("want 1 firing, got %d", p.Fires())
+	}
+}
+
+func TestAfterN(t *testing.T) {
+	p := site(t, "after")
+	p.Enable(Trigger{After: 3})
+	got := []bool{}
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Fire())
+	}
+	want := []bool{false, false, false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after:3 firing pattern %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAfterNOneShot(t *testing.T) {
+	p := site(t, "afteroneshot")
+	p.Enable(Trigger{After: 2, Once: true})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Fire() {
+			fired++
+			if i != 2 {
+				t.Fatalf("after:2:oneshot fired on check %d, want 2", i)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("want exactly 1 firing, got %d", fired)
+	}
+}
+
+// TestProbDeterministic: the probabilistic stream replays exactly from its
+// seed, and different seeds give different streams.
+func TestProbDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		p := site(t, "prob")
+		p.Enable(Trigger{Prob: 0.5, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at check %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob:0.5 fired %d/%d times, want a mix", fires, len(a))
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestErrAndPanicHelpers(t *testing.T) {
+	p := site(t, "helpers")
+	p.Enable(Trigger{})
+	err := p.Err()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err not matched by ErrInjected: %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != p.Name() {
+		t.Fatalf("want InjectedError carrying the site name, got %v", err)
+	}
+	func() {
+		defer func() {
+			v := recover()
+			ip, ok := v.(*InjectedPanic)
+			if !ok || ip.Site != p.Name() {
+				t.Fatalf("want InjectedPanic for the site, got %v", v)
+			}
+		}()
+		p.MustPanic()
+		t.Fatal("MustPanic did not panic")
+	}()
+}
+
+func TestParseTrigger(t *testing.T) {
+	good := map[string]Trigger{
+		"always":           {},
+		"oneshot":          {Once: true},
+		"after:3":          {After: 3},
+		"after:5:oneshot":  {After: 5, Once: true},
+		"prob:0.25":        {Prob: 0.25},
+		"prob:0.25:seed42": {Prob: 0.25, Seed: 42},
+	}
+	for spec, want := range good {
+		got, err := ParseTrigger(spec)
+		if err != nil || got != want {
+			t.Fatalf("ParseTrigger(%q) = %+v, %v; want %+v", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "sometimes", "after", "after:x", "prob:2",
+		"prob:0", "prob:0.5:42", "always:1", "after:1:twice"} {
+		if _, err := ParseTrigger(bad); err == nil {
+			t.Fatalf("ParseTrigger(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	a := site(t, "spec-a")
+	b := site(t, "spec-b")
+	spec := a.Name() + "=oneshot; " + b.Name() + "=after:1"
+	if err := EnableFromSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Armed() || !b.Armed() {
+		t.Fatal("sites not armed by spec")
+	}
+	if !a.Fire() || a.Fire() {
+		t.Fatal("spec-a should be oneshot")
+	}
+	if b.Fire() || !b.Fire() {
+		t.Fatal("spec-b should be after:1")
+	}
+	if err := EnableFromSpec("no/such/site=always"); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := EnableFromSpec(a.Name() + "=bogus"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := EnableFromSpec(""); err != nil {
+		t.Fatalf("empty spec should be a no-op, got %v", err)
+	}
+}
+
+// TestRegisterIdempotent: registering the same name twice returns the same
+// site (packages declare sites in vars; tests look them up by name).
+func TestRegisterIdempotent(t *testing.T) {
+	p1 := Register("test/idempotent")
+	p2 := Register("test/idempotent")
+	t.Cleanup(p1.Disable)
+	if p1 != p2 {
+		t.Fatal("Register returned distinct points for one name")
+	}
+}
+
+func BenchmarkDisarmedFire(b *testing.B) {
+	p := Register("bench/disarmed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p.Fire() {
+			b.Fatal("fired")
+		}
+	}
+}

@@ -4,19 +4,30 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
+)
+
+// Cache failpoints (see internal/fault): cache.get forces a miss on a key
+// that is present (exercising the recompute path against the cached truth);
+// cache.put drops an insert (a completed result that never becomes
+// shareable — followers must still get their copy via the job itself).
+var (
+	fpCacheGet = fault.Register("service/cache.get")
+	fpCachePut = fault.Register("service/cache.put")
 )
 
 // resultCache is the content-addressed result cache: completed Results
 // keyed by the job cache key (sim.Config.Fingerprint plus the observability
 // variant, see cacheKey). Entries are immutable — the simulator produces a
 // fresh Result per run and nobody mutates it afterwards — so hits share the
-// pointer. Bounded LRU.
+// pointer. Bounded LRU, optionally write-through to a durableStore.
 type resultCache struct {
 	mu        sync.Mutex
 	cap       int
 	m         map[string]*list.Element
 	lru       *list.List // front = most recently used
+	store     *durableStore
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -27,8 +38,8 @@ type cacheEntry struct {
 	res *sim.Result
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, m: map[string]*list.Element{}, lru: list.New()}
+func newResultCache(capacity int, store *durableStore) *resultCache {
+	return &resultCache{cap: capacity, m: map[string]*list.Element{}, lru: list.New(), store: store}
 }
 
 // get returns the cached Result for key, bumping its recency.
@@ -36,7 +47,7 @@ func (c *resultCache) get(key string) (*sim.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
-	if !ok {
+	if !ok || fpCacheGet.Fire() {
 		c.misses++
 		return nil, false
 	}
@@ -46,21 +57,41 @@ func (c *resultCache) get(key string) (*sim.Result, bool) {
 }
 
 // put stores res under key, evicting the least recently used entry over
-// capacity.
+// capacity. Writes through to the durable store when one is attached.
 func (c *resultCache) put(key string, res *sim.Result) {
+	if fpCachePut.Fire() {
+		return
+	}
+	c.insert(key, res, true)
+}
+
+// seed is put for boot-time durable loads: it fills the in-memory cache
+// without echoing the entry back to the disk it just came from.
+func (c *resultCache) seed(key string, res *sim.Result) {
+	c.insert(key, res, false)
+}
+
+func (c *resultCache) insert(key string, res *sim.Result, persist bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.lru.MoveToFront(el)
-		return
+	} else {
+		c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
 	}
-	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	if persist && c.store != nil {
+		c.store.persist(key, res)
+	}
 	for c.cap > 0 && c.lru.Len() > c.cap {
 		back := c.lru.Back()
 		c.lru.Remove(back)
-		delete(c.m, back.Value.(*cacheEntry).key)
+		evicted := back.Value.(*cacheEntry).key
+		delete(c.m, evicted)
 		c.evictions++
+		if c.store != nil {
+			c.store.remove(evicted)
+		}
 	}
 }
 

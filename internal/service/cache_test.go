@@ -12,7 +12,7 @@ func res(cycles uint64) *sim.Result { return &sim.Result{Cycles: cycles} }
 // TestCacheLRUEviction: the least recently used entry is evicted first, and
 // a get refreshes recency.
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	c.put("a", res(1))
 	c.put("b", res(2))
 	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
@@ -40,7 +40,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // TestCachePutOverwrite: re-putting a key replaces the value without growing
 // the cache.
 func TestCachePutOverwrite(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, nil)
 	c.put("k", res(1))
 	c.put("k", res(2))
 	got, ok := c.get("k")
@@ -54,7 +54,7 @@ func TestCachePutOverwrite(t *testing.T) {
 
 // TestCacheCapacityBound: the cache never exceeds its capacity.
 func TestCacheCapacityBound(t *testing.T) {
-	c := newResultCache(3)
+	c := newResultCache(3, nil)
 	for i := 0; i < 10; i++ {
 		c.put(fmt.Sprintf("k%d", i), res(uint64(i)))
 	}

@@ -1,0 +1,284 @@
+// Chaos suite: seeded, randomized fault schedules driven through the public
+// Service API with failpoints armed underneath (run it under -race; `make
+// chaos` runs 50 schedules). Each schedule arms a random subset of sites
+// with seeded policies, submits a burst of jobs over a small config pool
+// (so coalescing and cache hits are in play), randomly cancels some, drains,
+// and then asserts the invariants that define "no lost, duplicated, or torn
+// results":
+//
+//   - every job reaches a terminal state;
+//   - every done job's Result hashes identically to an undisturbed
+//     reference run of its configuration (torn-result guard);
+//   - the books balance: done + failed + cancelled == submitted;
+//   - every failure is an injected fault (retry budget exhaustion over
+//     injected panics), never an unexplained error;
+//   - with a durable cache: after a simulated process restart (new Service
+//     over the same directory, plus random on-disk corruption), completed
+//     configs are served from the cache bit-identically, and corrupt
+//     records are quarantined, not served.
+//
+// Failpoints are process-global, so schedules run sequentially — no
+// t.Parallel anywhere in this file.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// chaosPool is the configuration pool schedules draw from: small enough
+// that duplicates (coalescing, cache hits) are common, varied enough to
+// cover the EMC path.
+func chaosPool() []sim.Config {
+	var pool []sim.Config
+	for seed := uint64(1); seed <= 3; seed++ {
+		pool = append(pool, tinyCfg(seed))
+	}
+	emc := tinyCfg(4)
+	emc.EMCEnabled = true
+	pool = append(pool, emc)
+	return pool
+}
+
+// chaosSchedules reads the schedule count: EMCSIM_CHAOS_SCHEDULES (make
+// chaos sets 50), defaulting low enough to keep plain `go test` fast.
+func chaosSchedules(t *testing.T) int {
+	if v := os.Getenv("EMCSIM_CHAOS_SCHEDULES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad EMCSIM_CHAOS_SCHEDULES %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 10
+}
+
+func TestChaosSchedules(t *testing.T) {
+	pool := chaosPool()
+	// Reference hashes come from undisturbed direct runs, before any
+	// failpoint is armed.
+	fault.DisableAll()
+	refs := make([]uint64, len(pool))
+	for i, cfg := range pool {
+		refs[i] = runTiny(t, cfg).Hash()
+	}
+	n := chaosSchedules(t)
+	for seed := 1; seed <= n; seed++ {
+		t.Run(fmt.Sprintf("schedule-%03d", seed), func(t *testing.T) {
+			runChaosSchedule(t, int64(seed), pool, refs)
+		})
+	}
+}
+
+// armRandom arms a random subset of failpoints with policies derived from
+// rng, returning a description for failure messages.
+func armRandom(t *testing.T, rng *rand.Rand, durable bool) string {
+	desc := ""
+	arm := func(name string, trig fault.Trigger) {
+		p, ok := fault.Lookup(name)
+		if !ok {
+			t.Fatalf("failpoint %s not registered", name)
+		}
+		p.Enable(trig)
+		desc += fmt.Sprintf(" %s=%+v", name, trig)
+	}
+	prob := func(p float64) fault.Trigger {
+		return fault.Trigger{Prob: p, Seed: rng.Uint64() | 1}
+	}
+	if rng.Float64() < 0.5 {
+		arm("service/worker.prerun", prob(0.2+0.3*rng.Float64()))
+	}
+	if rng.Float64() < 0.5 {
+		arm("service/worker.postrun", prob(0.2+0.3*rng.Float64()))
+	}
+	if rng.Float64() < 0.4 {
+		arm("sim/cycle", fault.Trigger{
+			After: uint64(100 + rng.Intn(3000)),
+			Prob:  0.5,
+			Seed:  rng.Uint64() | 1,
+			Once:  rng.Intn(2) == 0,
+		})
+	}
+	if rng.Float64() < 0.4 {
+		arm("service/cache.get", prob(0.3))
+	}
+	if rng.Float64() < 0.4 {
+		arm("service/cache.put", prob(0.3))
+	}
+	if durable && rng.Float64() < 0.5 {
+		arm("service/durable.put", prob(0.3))
+	}
+	if rng.Float64() < 0.2 {
+		arm("service/queue.admit", prob(0.2))
+	}
+	return desc
+}
+
+func runChaosSchedule(t *testing.T, seed int64, pool []sim.Config, refs []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	fault.DisableAll()
+	t.Cleanup(fault.DisableAll)
+
+	durable := rng.Intn(2) == 0
+	svcCfg := Config{
+		Workers:          1 + rng.Intn(3),
+		QueueCap:         16 + rng.Intn(16),
+		CacheCap:         64, // roomy: durable reopen asserts on resident entries
+		MaxRetries:       1 + rng.Intn(3),
+		ProgressInterval: 500,
+	}
+	if durable {
+		svcCfg.CacheDir = t.TempDir()
+	}
+	if rng.Intn(2) == 0 {
+		svcCfg.HungTimeout = 50 * time.Millisecond
+	}
+	faults := armRandom(t, rng, durable)
+
+	s, err := Open(svcCfg)
+	if err != nil {
+		t.Fatalf("open (faults:%s): %v", faults, err)
+	}
+
+	type tracked struct {
+		j    *Job
+		pool int
+	}
+	var jobs []tracked
+	byID := map[string]int{} // job id -> pool index (coalesced dups collapse)
+	total := 6 + rng.Intn(8)
+	for i := 0; i < total; i++ {
+		ci := rng.Intn(len(pool))
+		j, err := s.Submit(fmt.Sprintf("client%d", rng.Intn(3)), pool[ci])
+		if err != nil {
+			// Backpressure and injected admission failures are legitimate
+			// rejections; anything else is a bug.
+			if !errors.Is(err, ErrQueueFull) && !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("submit (faults:%s): %v", faults, err)
+			}
+			continue
+		}
+		if prev, dup := byID[j.ID()]; dup && prev != ci {
+			t.Fatalf("job %s coalesced across different configs (%d vs %d)", j.ID(), prev, ci)
+		}
+		byID[j.ID()] = ci
+		jobs = append(jobs, tracked{j: j, pool: ci})
+		if rng.Float64() < 0.2 {
+			go func(id string, delay time.Duration) {
+				time.Sleep(delay)
+				s.Cancel(id) //nolint:errcheck // job may already be gone
+			}(j.ID(), time.Duration(rng.Intn(20))*time.Millisecond)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil && !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("drain (faults:%s): %v", faults, err)
+	}
+	s.Close() //nolint:errcheck // idempotent after drain
+
+	// Invariants.
+	doneConfigs := map[int]bool{}
+	for _, tr := range jobs {
+		st := tr.j.Status()
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after drain: %s (faults:%s)", st.ID, st.State, faults)
+		}
+		res, jerr, _ := tr.j.Result()
+		switch st.State {
+		case StateDone:
+			if res == nil {
+				t.Fatalf("done job %s lost its result (faults:%s)", st.ID, faults)
+			}
+			if got, want := res.Hash(), refs[tr.pool]; got != want {
+				t.Fatalf("torn result: job %s hash %#x != reference %#x (faults:%s)",
+					st.ID, got, want, faults)
+			}
+			doneConfigs[tr.pool] = true
+		case StateFailed:
+			if !errors.Is(jerr, fault.ErrInjected) {
+				t.Fatalf("job %s failed for a non-injected reason: %v (faults:%s)", st.ID, jerr, faults)
+			}
+			if !errors.Is(jerr, ErrRetriesExhausted) {
+				t.Fatalf("job %s failed without exhausting retries: %v (faults:%s)", st.ID, jerr, faults)
+			}
+		case StateCancelled:
+			// Requested by the schedule (or shutdown); nothing to assert.
+		}
+	}
+	st := s.Stats()
+	if st.Done+st.Failed+st.Cancelled != st.Submitted {
+		t.Fatalf("books do not balance: %+v (faults:%s)", st, faults)
+	}
+
+	if durable {
+		chaosRestart(t, rng, svcCfg, pool, refs, doneConfigs, faults)
+	}
+}
+
+// chaosRestart simulates the process dying and coming back: all faults
+// disarmed (a fresh, healthy process), random corruption sprinkled into the
+// cache directory, then a new Service over it. Every configuration that
+// completed before the "crash" must be served bit-identically — from the
+// durable cache when its record survived, recomputed otherwise — and
+// corrupt records must be quarantined, never served.
+func chaosRestart(t *testing.T, rng *rand.Rand, svcCfg Config, pool []sim.Config,
+	refs []uint64, doneConfigs map[int]bool, faults string) {
+	fault.DisableAll()
+	corrupted := 0
+	if rng.Float64() < 0.5 {
+		names, _ := filepath.Glob(filepath.Join(svcCfg.CacheDir, "*"+durableExt))
+		for _, name := range names {
+			if rng.Float64() > 0.3 {
+				continue
+			}
+			data, err := os.ReadFile(name)
+			if err != nil || len(data) == 0 {
+				continue
+			}
+			data[rng.Intn(len(data))] ^= 0xFF
+			if err := os.WriteFile(name, data, 0o644); err == nil {
+				corrupted++
+			}
+		}
+	}
+
+	s, err := Open(svcCfg)
+	if err != nil {
+		t.Fatalf("restart (faults:%s): %v", faults, err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if int(st.CacheQuarantined) != corrupted {
+		t.Fatalf("restart quarantined %d records, corrupted %d (faults:%s)",
+			st.CacheQuarantined, corrupted, faults)
+	}
+	for ci := range doneConfigs {
+		j, err := s.Submit("restart", pool[ci])
+		if err != nil {
+			t.Fatalf("restart submit: %v", err)
+		}
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("restart job for config %d: %v (faults:%s)", ci, err, faults)
+		}
+		if res.Hash() != refs[ci] {
+			t.Fatalf("restart served a wrong result for config %d: %#x != %#x (cached=%v faults:%s)",
+				ci, res.Hash(), refs[ci], j.Status().Cached, faults)
+		}
+	}
+}

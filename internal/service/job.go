@@ -56,6 +56,8 @@ type Job struct {
 	progress  sim.Progress
 	handle    *sim.RunHandle
 	cancelReq bool
+	hung      bool      // watchdog verdict: running but no recent progress
+	lastBeat  time.Time // last progress callback (or attempt start)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -72,6 +74,7 @@ type Status struct {
 	State    State  `json:"state"`
 	Cached   bool   `json:"cached"`
 	Attempts int    `json:"attempts"`
+	Hung     bool   `json:"hung,omitempty"`
 	Error    string `json:"error,omitempty"`
 
 	Cycles       uint64  `json:"cycles"`
@@ -107,7 +110,7 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	st := Status{
 		ID: j.id, Client: j.client, Key: j.key, Shard: j.shard,
-		State: j.state, Cached: j.cached, Attempts: j.attempts,
+		State: j.state, Cached: j.cached, Attempts: j.attempts, Hung: j.hung,
 		Cycles: j.progress.Cycles, Retired: j.progress.Retired,
 		TargetInstrs: j.progress.TargetInstrs, IPC: j.progress.IPC,
 		SubmittedAt: j.submitted,
@@ -155,7 +158,24 @@ func (j *Job) Result() (*sim.Result, error, bool) {
 func (j *Job) setProgress(p sim.Progress) {
 	j.mu.Lock()
 	j.progress = p
+	j.lastBeat = time.Now()
 	j.mu.Unlock()
+}
+
+// hungCheck is the watchdog probe: for a running job it compares the time
+// since the last heartbeat against timeout and updates the hung flag.
+// Detection only — the run is left alone (see DESIGN.md §11). It returns the
+// current verdict and whether it changed.
+func (j *Job) hungCheck(now time.Time, timeout time.Duration) (hung, changed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	was := j.hung
+	if j.state != StateRunning {
+		j.hung = false
+	} else {
+		j.hung = now.Sub(j.lastBeat) > timeout
+	}
+	return j.hung, j.hung != was
 }
 
 // requestCancel marks the job for cancellation and, when a run is in
@@ -198,6 +218,7 @@ func (j *Job) beginRunning() bool {
 func (j *Job) beginAttempt() {
 	j.mu.Lock()
 	j.attempts++
+	j.lastBeat = time.Now()
 	j.mu.Unlock()
 }
 
@@ -222,6 +243,7 @@ func (j *Job) finalize(state State, res *sim.Result, err error) {
 	j.res = res
 	j.err = err
 	j.handle = nil
+	j.hung = false
 	j.finished = time.Now()
 	if res != nil {
 		// Final progress reflects the completed (or partially completed) run.

@@ -9,7 +9,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -22,6 +24,22 @@ var (
 	ErrDraining = errors.New("service: draining")
 	// ErrNotFound reports an unknown job id.
 	ErrNotFound = errors.New("service: no such job")
+	// ErrRetriesExhausted marks a job that kept panicking until its retry
+	// budget ran out; it wraps the final attempt's panic error.
+	ErrRetriesExhausted = errors.New("service: retry budget exhausted")
+)
+
+// Scheduler failpoints (see internal/fault): queue.admit fails a submission
+// at admission; worker.prerun panics an attempt before the simulator is
+// built (a crash that the retry budget absorbs); worker.postrun panics after
+// the simulation completed but before its result is recorded (the retry
+// recomputes — determinism makes the recompute bit-identical); drain injects
+// a failure into the drain path.
+var (
+	fpQueueAdmit = fault.Register("service/queue.admit")
+	fpWorkerPre  = fault.Register("service/worker.prerun")
+	fpWorkerPost = fault.Register("service/worker.postrun")
+	fpDrain      = fault.Register("service/drain")
 )
 
 // panicError wraps a recovered worker panic so it can be distinguished from
@@ -33,6 +51,15 @@ type panicError struct {
 
 func (e *panicError) Error() string {
 	return fmt.Sprintf("simulation panic: %v\n%s", e.val, e.stack)
+}
+
+// Unwrap exposes error-typed panic values (notably *fault.InjectedPanic) to
+// errors.Is/As through the wrapper.
+func (e *panicError) Unwrap() error {
+	if err, ok := e.val.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Config sizes a Service.
@@ -51,6 +78,16 @@ type Config struct {
 	// ProgressInterval is the per-job progress callback cadence in cycles
 	// (0 = the simulator default).
 	ProgressInterval uint64
+	// CacheDir, when non-empty, backs the result cache with a durable
+	// write-through store in that directory: completed results survive a
+	// process restart and are reloaded on boot (corrupt records are
+	// quarantined, not served). Empty = in-memory only.
+	CacheDir string
+	// HungTimeout, when non-zero, arms the shard watchdog: a running job
+	// whose progress heartbeat is older than this is marked hung in its
+	// Status and counted in Stats.Hung / emcsim_service_hung_jobs.
+	// Detection only — the job is not killed.
+	HungTimeout time.Duration
 	// Metrics, when non-nil, receives the service gauge group (queue depth,
 	// workers, cache hits, ...) for /metrics export.
 	Metrics *obs.Registry
@@ -68,10 +105,16 @@ var serviceGauges = []string{
 	"service_jobs_cancelled",
 	"service_jobs_coalesced",
 	"service_job_retries",
+	"service_jobs_retry_exhausted",
+	"service_hung_jobs",
 	"service_cache_hits",
 	"service_cache_misses",
 	"service_cache_entries",
 	"service_cache_evictions",
+	"service_cache_loaded",
+	"service_cache_quarantined",
+	"service_cache_persisted",
+	"service_cache_persist_errors",
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -85,11 +128,23 @@ type Stats struct {
 	Cancelled  uint64 `json:"cancelled"`
 	Coalesced  uint64 `json:"coalesced"`
 	Retries    uint64 `json:"retries"`
+	// RetryExhausted counts jobs failed because their panic-retry budget
+	// ran out (see ErrRetriesExhausted).
+	RetryExhausted uint64 `json:"retryExhausted"`
+	// Hung is the number of running jobs the watchdog currently considers
+	// stalled (no progress within Config.HungTimeout).
+	Hung int `json:"hungJobs"`
 
 	CacheHits      uint64 `json:"cacheHits"`
 	CacheMisses    uint64 `json:"cacheMisses"`
 	CacheEntries   int    `json:"cacheEntries"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
+
+	// Durable-cache counters; all zero when Config.CacheDir is unset.
+	CacheLoaded      uint64 `json:"cacheLoaded"`
+	CacheQuarantined uint64 `json:"cacheQuarantined"`
+	CachePersisted   uint64 `json:"cachePersisted"`
+	CachePersistErrs uint64 `json:"cachePersistErrors"`
 }
 
 // Service is the simulation-job scheduler: a sharded worker pool over
@@ -103,15 +158,18 @@ type Service struct {
 	cfg    Config
 	queues []*fairQueue
 	cache  *resultCache
+	store  *durableStore // nil without Config.CacheDir
 
-	queued    atomic.Int64
-	running   atomic.Int64
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	cancelled atomic.Uint64
-	coalesced atomic.Uint64
-	retries   atomic.Uint64
+	queued         atomic.Int64
+	running        atomic.Int64
+	submitted      atomic.Uint64
+	completed      atomic.Uint64
+	failed         atomic.Uint64
+	cancelled      atomic.Uint64
+	coalesced      atomic.Uint64
+	retries        atomic.Uint64
+	retryExhausted atomic.Uint64
+	hung           atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -120,12 +178,26 @@ type Service struct {
 	seq      uint64
 	draining bool
 
-	wg    sync.WaitGroup
-	group *obs.Group
+	wg        sync.WaitGroup
+	watchStop chan struct{}
+	stopOnce  sync.Once
+	group     *obs.Group
 }
 
-// New builds a Service and starts its workers.
+// New builds a Service and starts its workers. It panics if Config.CacheDir
+// is set and the durable store cannot be initialized; servers should use
+// Open for the explicit error. Without CacheDir, New cannot fail.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Service, initializing (and reloading) the durable result
+// cache when Config.CacheDir is set, and starts the workers and watchdog.
+func Open(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -140,11 +212,26 @@ func New(cfg Config) *Service {
 	} else if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
 	}
+	var store *durableStore
+	if cfg.CacheDir != "" {
+		var err error
+		if store, err = openDurableStore(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Service{
-		cfg:      cfg,
-		cache:    newResultCache(cfg.CacheCap),
-		jobs:     map[string]*Job{},
-		inflight: map[string]*Job{},
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheCap, store),
+		store:     store,
+		jobs:      map[string]*Job{},
+		inflight:  map[string]*Job{},
+		watchStop: make(chan struct{}),
+	}
+	if store != nil {
+		if err := store.load(s.cache.seed); err != nil {
+			store.close()
+			return nil, err
+		}
 	}
 	if cfg.Metrics != nil {
 		s.group = cfg.Metrics.NewGroup(map[string]string{"component": "service"}, serviceGauges)
@@ -156,8 +243,11 @@ func New(cfg Config) *Service {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(i)
 	}
+	if cfg.HungTimeout > 0 {
+		go s.watchdog()
+	}
 	s.publish()
-	return s
+	return s, nil
 }
 
 // cacheKey derives the content address of a config: the semantic
@@ -197,6 +287,9 @@ func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
 	}
 	key, cacheable := cacheKey(&cfg)
 
+	if err := fpQueueAdmit.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -304,7 +397,7 @@ func (s *Service) Cancel(id string) error {
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	h, m, ev, entries := s.cache.stats()
-	return Stats{
+	st := Stats{
 		Workers:    len(s.queues),
 		QueueDepth: int(s.queued.Load()),
 		Running:    int(s.running.Load()),
@@ -315,11 +408,21 @@ func (s *Service) Stats() Stats {
 		Coalesced:  s.coalesced.Load(),
 		Retries:    s.retries.Load(),
 
+		RetryExhausted: s.retryExhausted.Load(),
+		Hung:           int(s.hung.Load()),
+
 		CacheHits:      h,
 		CacheMisses:    m,
 		CacheEntries:   entries,
 		CacheEvictions: ev,
 	}
+	if s.store != nil {
+		st.CacheLoaded = s.store.loaded.Load()
+		st.CacheQuarantined = s.store.quarantined.Load()
+		st.CachePersisted = s.store.persisted.Load()
+		st.CachePersistErrs = s.store.persistErrs.Load()
+	}
+	return st
 }
 
 // publish pushes the current counters into the metrics group.
@@ -338,16 +441,25 @@ func (s *Service) publish() {
 		float64(st.Cancelled),
 		float64(st.Coalesced),
 		float64(st.Retries),
+		float64(st.RetryExhausted),
+		float64(st.Hung),
 		float64(st.CacheHits),
 		float64(st.CacheMisses),
 		float64(st.CacheEntries),
 		float64(st.CacheEvictions),
+		float64(st.CacheLoaded),
+		float64(st.CacheQuarantined),
+		float64(st.CachePersisted),
+		float64(st.CachePersistErrs),
 	})
 }
 
 // Drain stops intake (Submit returns ErrDraining) and waits for every
 // queued and running job to finish, or for ctx.
 func (s *Service) Drain(ctx context.Context) error {
+	if err := fpDrain.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
@@ -361,6 +473,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.shutdownAux()
 		s.publish()
 		return nil
 	case <-ctx.Done():
@@ -381,8 +494,66 @@ func (s *Service) Close() error {
 		q.close()
 	}
 	s.wg.Wait()
+	s.shutdownAux()
 	s.publish()
 	return nil
+}
+
+// shutdownAux stops the watchdog and flushes + closes the durable store.
+// Runs after the workers exit, so no further cache writes can race it.
+func (s *Service) shutdownAux() {
+	s.stopOnce.Do(func() { close(s.watchStop) })
+	if s.store != nil {
+		s.store.close()
+	}
+}
+
+// FlushDurable blocks until every completed result so far has been written
+// through to the durable store (no-op without one). emcserve calls it on
+// shutdown before reporting the cache flushed.
+func (s *Service) FlushDurable() {
+	if s.store != nil {
+		s.store.flush()
+	}
+}
+
+// watchdog periodically sweeps jobs for stalled progress (detection only).
+func (s *Service) watchdog() {
+	tick := s.cfg.HungTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case now := <-t.C:
+			s.scanHung(now)
+		}
+	}
+}
+
+// scanHung applies the hung verdict to every job and republishes the gauges
+// when any verdict flipped.
+func (s *Service) scanHung(now time.Time) {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	var hung int64
+	changed := false
+	for _, j := range jobs {
+		h, ch := j.hungCheck(now, s.cfg.HungTimeout)
+		if h {
+			hung++
+		}
+		changed = changed || ch
+	}
+	s.hung.Store(hung)
+	if changed {
+		s.publish()
+	}
 }
 
 // worker owns shard i: it pops jobs until the shard closes and empties.
@@ -423,9 +594,15 @@ func (s *Service) execute(j *Job) {
 			return
 		default:
 			var pe *panicError
-			if errors.As(err, &pe) && attempt <= s.cfg.MaxRetries && !j.cancelRequested() {
-				s.retries.Add(1)
-				continue
+			if errors.As(err, &pe) {
+				if attempt <= s.cfg.MaxRetries && !j.cancelRequested() {
+					s.retries.Add(1)
+					continue
+				}
+				// Budget spent: fail with a structured error that keeps the
+				// final panic's text reachable via errors.Is/As and %v.
+				s.retryExhausted.Add(1)
+				err = fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt, err)
 			}
 			s.finishJob(j, StateFailed, nil, err)
 			return
@@ -441,6 +618,7 @@ func (s *Service) runOnce(j *Job) (res *sim.Result, err error) {
 		}
 	}()
 	j.beginAttempt()
+	fpWorkerPre.MustPanic()
 	sys, err := sim.New(j.cfg)
 	if err != nil {
 		return nil, err
@@ -449,7 +627,14 @@ func (s *Service) runOnce(j *Job) (res *sim.Result, err error) {
 	if !j.attachHandle(h) {
 		h.Cancel() // cancellation raced in between beginRunning and here
 	}
-	return h.Run()
+	res, err = h.Run()
+	if err == nil {
+		// Chaos hook: crash after the run finished but before its result is
+		// recorded anywhere — the retry recomputes, and determinism makes
+		// the recomputed Result bit-identical.
+		fpWorkerPost.MustPanic()
+	}
+	return res, err
 }
 
 // finishJob finalizes the job, maintains the in-flight index, and bumps the

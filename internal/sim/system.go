@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/emc"
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/mem/cache"
 	"repro/internal/mem/dram"
@@ -227,6 +228,11 @@ type System struct {
 }
 
 const noEvent = ^uint64(0)
+
+// fpCycle is the simulator's cycle-boundary failpoint: armed, it crashes a
+// run between two scheduler steps (the service's panic-retry and the chaos
+// suite drive it). Disarmed it costs one atomic load per runLoop iteration.
+var fpCycle = fault.Register("sim/cycle")
 
 // ---- Object pools -------------------------------------------------------------
 
@@ -508,7 +514,13 @@ func (s *System) runLoop(h *RunHandle) (*Result, error) {
 			if h.fn != nil && s.now >= h.next {
 				h.emit(s)
 			}
+			if h.ckptFn != nil && s.now >= h.ckptNext {
+				h.emitCheckpoint(s)
+			}
 		}
+		// Chaos hook: a mid-run crash at a cycle boundary (disarmed: one
+		// atomic load; see internal/fault and DESIGN.md §11.1).
+		fpCycle.MustPanic()
 		s.step()
 	}
 	return s.collect(), nil

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -107,6 +108,47 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.count += o.count
 	h.sum += o.sum
+}
+
+// histogramJSON is the serialized shape of a Histogram. Buckets elide the
+// empty tail (most latency histograms occupy a handful of low buckets), and
+// the struct round-trips losslessly: sim.Result embeds Histograms, and the
+// durable result cache persists Results as JSON.
+type histogramJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler (lossless, see UnmarshalJSON).
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	hi := len(h.buckets)
+	for hi > 0 && h.buckets[hi-1] == 0 {
+		hi--
+	}
+	return json.Marshal(histogramJSON{
+		Buckets: h.buckets[:hi],
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Buckets) > len(h.buckets) {
+		return fmt.Errorf("stats: histogram has %d buckets, max %d", len(j.Buckets), len(h.buckets))
+	}
+	*h = Histogram{count: j.Count, sum: j.Sum, min: j.Min, max: j.Max}
+	copy(h.buckets[:], j.Buckets)
+	return nil
 }
 
 // String summarizes the distribution.

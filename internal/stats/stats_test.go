@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -156,5 +157,47 @@ func TestRatioPct(t *testing.T) {
 	}
 	if Ratio(1, 2) != 0.5 || Pct(1, 2) != 50 {
 		t.Error("ratio math wrong")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 5000, 1 << 40, ^uint64(0)} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip changed histogram:\n got %+v\nwant %+v", back, h)
+	}
+	// Empty histograms round-trip too (most Result histograms are empty).
+	var empty, emptyBack Histogram
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack != empty {
+		t.Fatal("empty histogram round trip not identical")
+	}
+	if _, err := json.Marshal(struct{ H Histogram }{h}); err != nil {
+		t.Fatalf("embedded (non-pointer) marshal failed: %v", err)
+	}
+}
+
+func TestHistogramJSONRejectsOversize(t *testing.T) {
+	var back Histogram
+	big := make([]uint64, 49)
+	data, _ := json.Marshal(map[string]any{"buckets": big})
+	if err := json.Unmarshal(data, &back); err == nil {
+		t.Fatal("oversized bucket list accepted")
 	}
 }

@@ -1,0 +1,98 @@
+#!/bin/sh
+# kill_smoke.sh — crash-recovery smoke for the durable result cache
+# (make kill-smoke).
+#
+# Boots emcserve with -cache-dir, completes one job, then SIGKILLs the
+# server while a second sweep job is in flight (the crash nobody drains
+# from). Restarts the server over the same directory and verifies:
+#   1. the completed result was reloaded from the durable cache,
+#   2. resubmitting the same configuration is a cache hit (no re-run),
+#   3. the served result JSON is byte-identical to the pre-crash one.
+set -eu
+
+GO="${GO:-go}"
+dir=.smoke-kill
+srvpid=""
+rm -rf "$dir"
+mkdir -p "$dir"
+trap 'rm -rf "$dir"; [ -n "$srvpid" ] && kill -9 "$srvpid" 2>/dev/null || true' EXIT
+
+"$GO" build -o "$dir/emcserve" ./cmd/emcserve
+"$GO" build -o "$dir/emcctl" ./cmd/emcctl
+
+boot() {
+    # $1: output file for the server log. Sets $srvpid and $server.
+    "$dir/emcserve" -addr 127.0.0.1:0 -workers 2 -cache-dir "$dir/cache" \
+        >"$1" 2>"$1.err" &
+    srvpid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's|.*listening on http://\([0-9.:]*\).*|\1|p' "$1" 2>/dev/null | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "kill-smoke: server address never appeared" >&2
+        cat "$1" "$1.err" >&2 || true
+        exit 1
+    fi
+    server="http://$addr"
+}
+
+boot "$dir/serve1.out"
+
+submit() {
+    "$dir/emcctl" -server "$server" submit \
+        -bench mcf,sphinx3,soplex,libquantum -n 2000 -emc -wait
+}
+
+# 1. Complete one job and capture its result before the crash.
+submit >"$dir/first.json"
+grep -q '"state": "done"' "$dir/first.json" || {
+    echo "kill-smoke: first job did not finish" >&2
+    cat "$dir/first.json" "$dir/serve1.out.err" >&2 || true
+    exit 1
+}
+id=$(sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$dir/first.json" | head -n 1)
+"$dir/emcctl" -server "$server" result "$id" >"$dir/before.json"
+echo "pre-crash result: ok (job $id)"
+
+# 2. Kick off a second sweep job and SIGKILL the server mid-flight: no
+#    drain, no flush beyond what the write-through already persisted.
+"$dir/emcctl" -server "$server" submit \
+    -bench mcf,mcf,mcf,mcf -n 200000 -emc >/dev/null
+kill -9 "$srvpid"
+wait "$srvpid" 2>/dev/null || true
+srvpid=""
+echo "SIGKILL mid-sweep: ok"
+
+# 3. Restart over the same cache directory.
+boot "$dir/serve2.out"
+loaded=$(sed -n 's/.*durable cache .*: \([0-9]*\) results loaded.*/\1/p' "$dir/serve2.out" | head -n 1)
+if [ "${loaded:-0}" -lt 1 ] 2>/dev/null; then
+    echo "kill-smoke: restart loaded no durable results (got '$loaded')" >&2
+    cat "$dir/serve2.out" "$dir/serve2.out.err" >&2 || true
+    exit 1
+fi
+echo "durable reload: ok ($loaded result(s))"
+
+# 4. The resubmitted configuration is served from the cache, bit-identical.
+submit >"$dir/second.json"
+grep -q '"cached": true' "$dir/second.json" || {
+    echo "kill-smoke: resubmit after crash was not served from the durable cache" >&2
+    cat "$dir/second.json" >&2
+    exit 1
+}
+id2=$(sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$dir/second.json" | head -n 1)
+"$dir/emcctl" -server "$server" result "$id2" >"$dir/after.json"
+if ! cmp -s "$dir/before.json" "$dir/after.json"; then
+    echo "kill-smoke: post-crash result differs from pre-crash result" >&2
+    diff "$dir/before.json" "$dir/after.json" >&2 || true
+    exit 1
+fi
+echo "byte-identical recovery: ok"
+
+kill -TERM "$srvpid" 2>/dev/null || true
+wait "$srvpid" 2>/dev/null || true
+srvpid=""
+echo "kill-smoke: ok"

@@ -83,8 +83,8 @@ if kill -0 "$srvpid" 2>/dev/null; then
     exit 1
 fi
 wait "$srvpid" 2>/dev/null || true
-grep -q "drained" "$dir/serve.out" || {
-    echo "serve-smoke: no drain summary in server output" >&2
+grep -q "shutdown:" "$dir/serve.out" || {
+    echo "serve-smoke: no shutdown summary in server output" >&2
     cat "$dir/serve.out" "$dir/serve.err" >&2 || true
     exit 1
 }
