@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments trace-smoke serve-smoke chaos kill-smoke clean
+.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke chaos kill-smoke clean
 
 all: build test
 
@@ -10,10 +10,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 gate: build everything, vet, run the full test suite, the
-# race-enabled suites over the simulator core and the job scheduler, and the
-# observability end-to-end smoke.
-test: build vet
+# Custom static analysis (cmd/simlint): determinism, zero-alloc, failpoint
+# registry, and atomic-hygiene invariants, enforced module-wide. The driver
+# is built through the normal go build cache, so warm runs cost seconds.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# Tier-1 gate: build everything, vet + simlint, run the full test suite,
+# the race-enabled suites over the simulator core and the job scheduler,
+# and the observability end-to-end smoke.
+test: build vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/sim/... ./internal/service/...
 	$(MAKE) trace-smoke
@@ -54,6 +60,7 @@ bench:
 		./internal/sim/ ./internal/interconnect/ ./internal/mem/dram/ \
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json
+	$(GO) run ./cmd/benchjson -check-noalloc BENCH_sim.json
 
 experiments:
 	$(GO) run ./cmd/experiments -md results-run.md

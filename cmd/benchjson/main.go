@@ -3,18 +3,105 @@
 // metric (ns/op, B/op, allocs/op, and any custom ReportMetric units).
 //
 //	go test -run xxx -bench . -benchtime=1x -count=1 ./internal/sim/ | benchjson > BENCH_sim.json
+//
+// With -check-noalloc it instead audits an existing snapshot against the
+// //simlint:noalloc bench=RE annotations in the source tree: every
+// annotated hot path must have at least one matching benchmark in the
+// snapshot, and every matching benchmark must report 0 allocs/op. This
+// closes the loop between the static annotation (enforced by cmd/simlint)
+// and the measured truth:
+//
+//	benchjson -check-noalloc BENCH_sim.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/analysis/hotalloc"
 )
 
 func main() {
+	checkNoalloc := flag.Bool("check-noalloc", false,
+		"audit a bench JSON snapshot against //simlint:noalloc bench= annotations and exit non-zero on any violation")
+	src := flag.String("src", ".",
+		"source tree to scan for annotations (with -check-noalloc)")
+	flag.Parse()
+
+	if *checkNoalloc {
+		file := flag.Arg(0)
+		if file == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -check-noalloc needs a snapshot file argument (e.g. BENCH_sim.json)")
+			os.Exit(2)
+		}
+		os.Exit(runCheckNoalloc(*src, file))
+	}
+	convert()
+}
+
+// runCheckNoalloc returns the process exit code: 0 when every annotated
+// path is measured at 0 allocs/op, 1 on any violation or drift.
+func runCheckNoalloc(src, file string) int {
+	rules, err := hotalloc.ScanBenchRules(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if len(rules) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no %s bench= annotations under %s: nothing to check\n", hotalloc.Directive, src)
+		return 2
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var snap map[string]map[string]float64
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", file, err)
+		return 2
+	}
+
+	bad := 0
+	for _, rule := range rules {
+		matched := 0
+		for name, metrics := range snap {
+			if !rule.Pattern.MatchString(name) {
+				continue
+			}
+			matched++
+			allocs, ok := metrics["allocs/op"]
+			switch {
+			case !ok:
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %s matches noalloc path %s (%s) but reports no allocs/op metric\n",
+					file, name, rule.Func, rule.Pos)
+				bad++
+			case allocs > 0:
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %s reports %g allocs/op but %s is annotated %s (%s)\n",
+					file, name, allocs, rule.Func, hotalloc.Directive, rule.Pos)
+				bad++
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark in %s matches bench=%s on %s (%s): annotation drifted from the bench suite\n",
+				file, rule.Pattern, rule.Func, rule.Pos)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d noalloc violation(s)\n", bad)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d noalloc annotation(s) verified against %s\n", len(rules), file)
+	return 0
+}
+
+func convert() {
 	out := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {

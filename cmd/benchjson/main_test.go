@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays down a tiny annotated source tree and a bench snapshot,
+// returning their paths.
+func writeTree(t *testing.T, snapshot string) (src, snap string) {
+	t.Helper()
+	dir := t.TempDir()
+	src = filepath.Join(dir, "src")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	code := `package hot
+
+//simlint:noalloc bench=BenchmarkHot.*
+func hotPath() {}
+`
+	if err := os.WriteFile(filepath.Join(src, "hot.go"), []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap = filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(snap, []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return src, snap
+}
+
+func TestCheckNoallocClean(t *testing.T) {
+	src, snap := writeTree(t, `{"BenchmarkHotLoop": {"allocs/op": 0, "ns/op": 12}}`)
+	if code := runCheckNoalloc(src, snap); code != 0 {
+		t.Fatalf("clean snapshot: exit %d, want 0", code)
+	}
+}
+
+func TestCheckNoallocViolation(t *testing.T) {
+	src, snap := writeTree(t, `{"BenchmarkHotLoop": {"allocs/op": 3, "ns/op": 12}}`)
+	if code := runCheckNoalloc(src, snap); code != 1 {
+		t.Fatalf("allocating snapshot: exit %d, want 1", code)
+	}
+}
+
+func TestCheckNoallocMissingMetric(t *testing.T) {
+	src, snap := writeTree(t, `{"BenchmarkHotLoop": {"ns/op": 12}}`)
+	if code := runCheckNoalloc(src, snap); code != 1 {
+		t.Fatalf("missing allocs/op: exit %d, want 1", code)
+	}
+}
+
+func TestCheckNoallocDrift(t *testing.T) {
+	// No benchmark matches the annotation: the bench suite drifted.
+	src, snap := writeTree(t, `{"BenchmarkSomethingElse": {"allocs/op": 0}}`)
+	if code := runCheckNoalloc(src, snap); code != 1 {
+		t.Fatalf("drifted snapshot: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,39 @@
+// Command simlint is the multichecker driver for the repo's custom static
+// analyzers. It mechanically enforces the invariants the simulator's
+// correctness story rests on:
+//
+//	nondeterminism   no wall clocks, global randomness, or order-leaking
+//	                 map iteration in simulation-state packages
+//	hotalloc         //simlint:noalloc functions contain no
+//	                 allocation-inducing constructs
+//	failpoint        fault.Register sites are unique constants from the
+//	                 internal/fault/sites.go registry
+//	atomichygiene    no mixed plain/atomic access, no by-value copies of
+//	                 sync/atomic types
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -run nondeterminism,hotalloc ./internal/sim/...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/atomichygiene"
+	"repro/internal/analysis/failpoint"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func main() {
+	framework.Exit(framework.Main(os.Stderr, os.Args[1:], []*framework.Analyzer{
+		nondeterminism.Analyzer,
+		hotalloc.Analyzer,
+		failpoint.Analyzer,
+		atomichygiene.Analyzer,
+	}))
+}

@@ -1,0 +1,249 @@
+// Package atomichygiene enforces the concurrency discipline around
+// sync/atomic: a word that is ever accessed through sync/atomic functions
+// must be accessed that way everywhere (a single plain load/store next to
+// atomic ones is a data race the race detector only catches when the
+// interleaving cooperates), and the method-based atomic types
+// (atomic.Int64, atomic.Pointer[T], ...) must never be copied by value —
+// a copy silently forks the counter. go vet's copylocks pass does not
+// cover the atomic value types because they are not Lockers; this pass
+// closes that gap. Line-scoped //simlint:atomicok suppresses a reviewed
+// finding (e.g. single-threaded construction before publication).
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the atomichygiene pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomichygiene",
+	Doc: "flag mixed plain/atomic access and by-value copies of sync/atomic types\n\n" +
+		"Counters read by /metrics while workers add to them must be atomic on every path, and atomic.Int64-style values must move by pointer.",
+	Run: run,
+}
+
+// atomicPtrFuncs are the sync/atomic functions whose first argument is the
+// address of the word they operate on.
+var atomicPtrFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+type posRange struct{ from, to token.Pos }
+
+func run(pass *framework.Pass) error {
+	atomicWords := map[types.Object]token.Pos{} // object -> first atomic access
+	var sanctioned []posRange                   // &word expressions inside atomic calls
+
+	// Pass A: find every word accessed through sync/atomic in this package.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pass.ImportedPath(call.Fun)
+			if !ok || path != "sync/atomic" || !atomicPtrFuncs[name] || len(call.Args) == 0 {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(pass, un.X); obj != nil {
+					if _, seen := atomicWords[obj]; !seen {
+						atomicWords[obj] = call.Pos()
+					}
+					sanctioned = append(sanctioned, posRange{un.Pos(), un.End()})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass B: any other appearance of those words is a mixed plain access.
+	// Selector fields are caught via their Sel identifier, which ast.Inspect
+	// visits as a plain *ast.Ident.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			first, isAtomic := atomicWords[obj]
+			if !isAtomic || within(sanctioned, id.Pos()) || pass.Directive(id.Pos(), "//simlint:atomicok") {
+				return true
+			}
+			pass.Reportf(id.Pos(), "plain access to %s, which is accessed with sync/atomic at %s: mixed access is a data race",
+				obj.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+
+	// Pass C: by-value copies of method-based atomic types.
+	for _, file := range pass.Files {
+		checkCopies(pass, file)
+	}
+	return nil
+}
+
+// addressedObject resolves &expr's operand to the field or variable object
+// whose address is taken.
+func addressedObject(pass *framework.Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return addressedObject(pass, x.X)
+	}
+	return nil
+}
+
+func within(ranges []posRange, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r.from && pos <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCopies flags signatures, receivers, assignments and range clauses
+// that move an atomic-bearing value by value.
+func checkCopies(pass *framework.Pass, file *ast.File) {
+	report := func(pos token.Pos, t types.Type, what string) {
+		if pass.Directive(pos, "//simlint:atomicok") {
+			return
+		}
+		pass.Reportf(pos, "%s copies %s by value: sync/atomic values must move by pointer, or the copy forks the counter", what, t)
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				recv := n.Recv.List[0]
+				t := declaredType(pass, recv.Type)
+				if t == nil && len(recv.Names) == 1 {
+					t = exprType(pass, recv.Names[0])
+				}
+				if t != nil && atomicBearing(t, 0) {
+					report(recv.Pos(), t, "value receiver of "+n.Name.Name)
+				}
+			}
+			checkFieldList(pass, report, n.Type.Params, "parameter")
+			checkFieldList(pass, report, n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(pass, report, n.Type.Params, "parameter")
+			checkFieldList(pass, report, n.Type.Results, "result")
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue // discard, not a live copy
+				}
+				if !isExistingValue(rhs) {
+					continue
+				}
+				if t := exprType(pass, rhs); t != nil && atomicBearing(t, 0) {
+					report(rhs.Pos(), t, "assignment")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := exprType(pass, n.Value); t != nil && atomicBearing(t, 0) {
+					report(n.Value.Pos(), t, "range clause")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkFieldList(pass *framework.Pass, report func(token.Pos, types.Type, string), fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		if t := declaredType(pass, f.Type); t != nil && atomicBearing(t, 0) {
+			report(f.Pos(), t, what)
+		}
+	}
+}
+
+func declaredType(pass *framework.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// exprType resolves an expression's type, falling back to the defined or
+// used object for identifiers (range-clause vars live in Defs, not Types).
+func exprType(pass *framework.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isExistingValue reports whether rhs denotes an already-live value (whose
+// assignment therefore copies it), as opposed to a fresh composite literal
+// or call result.
+func isExistingValue(rhs ast.Expr) bool {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// atomicBearing reports whether t is (or transitively embeds by value) one
+// of sync/atomic's struct types. Pointers, slices and maps break the
+// containment: indirection is exactly the fix.
+func atomicBearing(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if atomicBearing(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return atomicBearing(u.Elem(), depth+1)
+	}
+	return false
+}

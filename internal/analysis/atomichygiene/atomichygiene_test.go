@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomichygiene"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, atomichygiene.Analyzer, "testdata/src/atomics")
+}

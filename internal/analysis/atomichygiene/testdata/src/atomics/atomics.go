@@ -1,0 +1,92 @@
+// Package atomics is the atomichygiene fixture: mixed plain/atomic word
+// access and by-value copies of atomic types must be flagged; disciplined
+// access and pointer plumbing must stay quiet.
+package atomics
+
+import "sync/atomic"
+
+// Stats mixes a sync/atomic-function word (hits) with a method-based
+// atomic (count) and an unrelated plain field (name).
+type Stats struct {
+	hits  int64
+	count atomic.Int64
+	name  string
+}
+
+// record accesses hits atomically everywhere: clean.
+func (s *Stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// snapshot reads hits atomically and name plainly: clean.
+func (s *Stats) snapshot() (int64, string) {
+	return atomic.LoadInt64(&s.hits), s.name
+}
+
+// raceyRead reads a word that record() accesses atomically.
+func (s *Stats) raceyRead() int64 {
+	return s.hits // want `plain access to hits, which is accessed with sync/atomic`
+}
+
+// raceyWrite increments the same word without atomics.
+func (s *Stats) raceyWrite() {
+	s.hits++ // want `plain access to hits, which is accessed with sync/atomic`
+}
+
+// construct initializes before publication; the reviewed directive
+// suppresses the finding.
+func construct() *Stats {
+	s := &Stats{}
+	s.hits = 0 //simlint:atomicok single-threaded construction
+	return s
+}
+
+// byValueParam copies an atomic counter into the callee.
+func byValueParam(c atomic.Int64) int64 { // want `parameter copies sync/atomic\.Int64 by value`
+	return c.Load()
+}
+
+// byPointerParam is the fix: clean.
+func byPointerParam(c *atomic.Int64) int64 {
+	return c.Load()
+}
+
+// byValueResult returns a copy of the live counter.
+func (s *Stats) byValueResult() atomic.Int64 { // want `result copies sync/atomic\.Int64 by value`
+	return s.count
+}
+
+// valueReceiver copies the whole atomic-bearing struct per call.
+func (s Stats) valueReceiver() int64 { // want `value receiver of valueReceiver copies .*Stats by value`
+	return s.count.Load()
+}
+
+// copyAssign forks the counter.
+func copyAssign(s *Stats) {
+	c := s.count // want `assignment copies sync/atomic\.Int64 by value`
+	_ = c
+}
+
+// pointerAssign is the fix: clean.
+func pointerAssign(s *Stats) {
+	c := &s.count
+	_ = c
+}
+
+// rangeCopy copies each atomic-bearing element.
+func rangeCopy(ss []Stats) int64 {
+	var total int64
+	for _, s := range ss { // want `range clause copies .*Stats by value`
+		total += s.count.Load()
+	}
+	return total
+}
+
+// rangePointers iterates by index: clean.
+func rangePointers(ss []Stats) int64 {
+	var total int64
+	for i := range ss {
+		total += ss[i].count.Load()
+	}
+	return total
+}

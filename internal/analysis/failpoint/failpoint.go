@@ -1,0 +1,207 @@
+// Package failpoint enforces the failpoint-site registry discipline: every
+// fault.Register call must take a string constant declared in the single
+// registry file (internal/fault/sites.go), each registry constant may back
+// at most one site, and registry constants that no code registers are dead
+// documentation. Together these make EMCSIM_FAILPOINTS docs, chaos
+// schedules, and the code agree by construction — a renamed or deleted
+// site fails the build instead of silently injecting nothing.
+package failpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// FaultPkgSuffix identifies the failpoint framework package by import-path
+// suffix, so the analyzer works on both the real internal/fault and the
+// fixture mirror under testdata.
+var FaultPkgSuffix = "internal/fault"
+
+// RegistryFile is the single file allowed to declare site-name constants.
+var RegistryFile = "sites.go"
+
+// Analyzer is the failpoint pass.
+var Analyzer = &framework.Analyzer{
+	Name: "failpoint",
+	Doc: "require fault.Register sites to be unique constants from the registry file\n\n" +
+		"Site names flow into EMCSIM_FAILPOINTS and chaos schedules; a registry file plus this pass keeps those docs and the code in lockstep.",
+	Run:   run,
+	Begin: begin,
+	End:   end,
+}
+
+// runState is the module-wide bookkeeping for one driver run.
+type runState struct {
+	// used maps "pkgpath.ConstName" of a registry constant to the position
+	// of the Register call that claimed it.
+	used map[string]token.Pos
+	// declared maps the same key to the declaration position, for registry
+	// constants seen while analyzing the fault package's source.
+	declared map[string]token.Pos
+	// values maps site-name string values to the first declaring constant,
+	// to reject two registry constants spelling the same site.
+	values       map[string]string
+	faultScanned bool
+	sawRegister  bool
+}
+
+var state runState
+
+func begin() {
+	state = runState{
+		used:     map[string]token.Pos{},
+		declared: map[string]token.Pos{},
+		values:   map[string]string{},
+	}
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	if isFaultPkg(pass.Pkg.Path()) {
+		checkRegistry(pass)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pass.ImportedPath(call.Fun); ok && isFaultPkg(path) && name == "Register" {
+				checkRegisterCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFaultPkg(path string) bool {
+	return path == FaultPkgSuffix || strings.HasSuffix(path, "/"+FaultPkgSuffix)
+}
+
+// checkRegistry validates the fault package's own registry file: constant
+// string values must be unique, and nothing outside the registry file may
+// declare site-looking exported Site* constants.
+func checkRegistry(pass *framework.Pass) {
+	state.faultScanned = true
+	for _, file := range pass.Files {
+		fname := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		inRegistry := fname == RegistryFile
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || obj.Val().Kind() != constant.String {
+						continue
+					}
+					if !inRegistry {
+						if strings.HasPrefix(name.Name, "Site") {
+							pass.Reportf(name.Pos(), "site constant %s declared outside %s: all failpoint sites live in the registry file", name.Name, RegistryFile)
+						}
+						continue
+					}
+					val := constant.StringVal(obj.Val())
+					if prev, dup := state.values[val]; dup {
+						pass.Reportf(name.Pos(), "duplicate failpoint site name %q: already declared as %s", val, prev)
+					} else {
+						state.values[val] = name.Name
+					}
+					state.declared[pass.Pkg.Path()+"."+name.Name] = name.Pos()
+				}
+			}
+		}
+	}
+}
+
+// checkRegisterCall validates one fault.Register call site.
+func checkRegisterCall(pass *framework.Pass, call *ast.CallExpr) {
+	state.sawRegister = true
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil {
+		pass.Reportf(arg.Pos(), "fault.Register argument must be a string constant from the %s registry, not a computed value", RegistryFile)
+		return
+	}
+	obj := constObject(pass, arg)
+	if obj == nil || obj.Pkg() == nil || !isFaultPkg(obj.Pkg().Path()) {
+		pass.Reportf(arg.Pos(), "fault site name must be a constant declared in %s/%s, not %s", FaultPkgSuffix, RegistryFile, describeArg(tv))
+		return
+	}
+	// When the importer gives us real positions (unified export data does),
+	// pin the declaration to the registry file itself.
+	if p := pass.Fset.Position(obj.Pos()); p.IsValid() && p.Filename != "" {
+		if filepath.Base(p.Filename) != RegistryFile {
+			pass.Reportf(arg.Pos(), "fault site constant %s is declared in %s, not the %s registry", obj.Name(), filepath.Base(p.Filename), RegistryFile)
+			return
+		}
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if prev, dup := state.used[key]; dup {
+		pass.Reportf(arg.Pos(), "failpoint site %s already registered at %s: sites must be unique across the module", obj.Name(), pass.Fset.Position(prev))
+		return
+	}
+	state.used[key] = arg.Pos()
+}
+
+// constObject resolves the identifier or selector the argument names to its
+// constant object, if any.
+func constObject(pass *framework.Pass, arg ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch a := arg.(type) {
+	case *ast.Ident:
+		id = a
+	case *ast.SelectorExpr:
+		id = a.Sel
+	default:
+		return nil
+	}
+	c, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return c
+}
+
+func describeArg(tv types.TypeAndValue) string {
+	if tv.Value != nil && tv.Value.Kind() == constant.String {
+		return "the literal " + tv.Value.String()
+	}
+	return "this expression"
+}
+
+// end reports registry constants that no Register call consumed. It only
+// fires when the run analyzed both the fault package and at least one
+// registering package, so partial-module runs don't produce false drift.
+func end(report func(token.Pos, string)) {
+	if !state.faultScanned || !state.sawRegister {
+		return
+	}
+	var unused []string
+	for key := range state.declared {
+		if _, ok := state.used[key]; !ok {
+			unused = append(unused, key)
+		}
+	}
+	sort.Strings(unused)
+	for _, key := range unused {
+		name := key[strings.LastIndex(key, ".")+1:]
+		report(state.declared[key], "registry constant "+name+" is never passed to fault.Register: the site registry has drifted from the code")
+	}
+}

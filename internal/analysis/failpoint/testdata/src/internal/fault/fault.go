@@ -1,0 +1,12 @@
+// Package fault is a fixture mirror of the real failpoint framework: just
+// enough surface for the analyzer to recognize Register call sites.
+package fault
+
+// Point mimics the real failpoint site handle.
+type Point struct{ name string }
+
+// Register mimics the real registration entry point.
+func Register(name string) *Point { return &Point{name: name} }
+
+// SiteRogue is a site-looking constant declared outside the registry file.
+const SiteRogue = "rogue/site" // want `site constant SiteRogue declared outside sites\.go`

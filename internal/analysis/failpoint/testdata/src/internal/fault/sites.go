@@ -1,0 +1,10 @@
+package fault
+
+// The registry file: one constant per failpoint site.
+const (
+	SiteGood   = "good/site"
+	SiteOther  = "other/site"
+	SiteDupA   = "dup/site"
+	SiteDupB   = "dup/site"     // want `duplicate failpoint site name "dup/site": already declared as SiteDupA`
+	SiteUnused = "unused/site"  // want `registry constant SiteUnused is never passed to fault\.Register`
+)

@@ -1,0 +1,27 @@
+// Package use exercises every shape of fault.Register call site.
+package use
+
+import (
+	fault "repro/internal/analysis/failpoint/testdata/src/internal/fault"
+)
+
+// Clean: distinct registry constants, one site each.
+var (
+	fpGood  = fault.Register(fault.SiteGood)
+	fpOther = fault.Register(fault.SiteOther)
+	fpDupA  = fault.Register(fault.SiteDupA)
+	fpDupB  = fault.Register(fault.SiteDupB)
+)
+
+// Violations.
+var (
+	fpLiteral = fault.Register("raw/site")        // want `must be a constant declared in internal/fault/sites\.go`
+	fpRogue   = fault.Register(fault.SiteRogue)   // want `declared in fault\.go, not the sites\.go registry`
+	fpAgain   = fault.Register(fault.SiteGood)    // want `failpoint site SiteGood already registered`
+	fpLocal   = fault.Register(localSite)         // want `must be a constant declared in internal/fault/sites\.go`
+	fpDynamic = fault.Register(dynamicName())     // want `must be a string constant from the sites\.go registry`
+)
+
+const localSite = "local/site"
+
+func dynamicName() string { return "dyn/site" }

@@ -1,0 +1,120 @@
+// Package analysistest runs a framework.Analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations embedded in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are comments of the form
+//
+//	x := time.Now() // want `time\.Now`
+//	y := f()        // want `first` `second`
+//
+// where each backquoted string is a regexp that must match the message of
+// exactly one diagnostic reported on that line. Lines with no want comment
+// must produce no diagnostics, which is how clean "negative fixture" code
+// asserts the analyzer stays quiet.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture package at dir (relative to the calling test's
+// package directory, e.g. "testdata/src/a") and checks the analyzer's
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
+	t.Helper()
+	patterns := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		patterns = append(patterns, "./"+filepath.ToSlash(d))
+	}
+	fset := token.NewFileSet()
+	pkgs, err := framework.Load(fset, "", patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures %v: %v", dirs, err)
+	}
+	diags, err := framework.RunPackages(fset, pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	want := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+						}
+						want[k] = append(want[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for k, res := range want {
+		msgs := got[k]
+		for _, re := range res {
+			matched := -1
+			for i, m := range msgs {
+				if m != "" && re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", rel(k.file), k.line, re, msgs)
+				continue
+			}
+			msgs[matched] = "" // consume so duplicate wants need duplicate diags
+		}
+		for _, m := range msgs {
+			if m != "" {
+				t.Errorf("%s:%d: unexpected diagnostic %q", rel(k.file), k.line, m)
+			}
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic %q (no want comment)", rel(k.file), k.line, m)
+		}
+	}
+}
+
+// rel trims the test's working directory off fixture paths to keep failure
+// output readable.
+func rel(file string) string {
+	if wd, err := filepath.Abs("."); err == nil {
+		if r, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return file
+}

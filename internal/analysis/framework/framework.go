@@ -1,0 +1,130 @@
+// Package framework is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis API: named analyzers run over type-checked
+// packages and report position-tagged diagnostics. The repo's go.mod is
+// deliberately empty (the simulator is stdlib-only), so rather than vendor
+// x/tools the lint suite re-implements the thin slice it needs: a package
+// loader built on `go list -export` plus the gc export-data importer, a
+// per-package Pass, and an analysistest-style fixture harness
+// (framework/analysistest). Analyzer Run signatures are kept shape-compatible
+// with x/tools so the suite could migrate to the real framework if the
+// module ever grows dependencies.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Unlike x/tools there is no Requires
+// graph or fact serialization: analyzers run independently per package, and
+// module-wide invariants (e.g. failpoint-site uniqueness) use Begin/End
+// hooks that bracket a whole driver run.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description (first line = summary).
+	Doc string
+	// Run is invoked once per loaded package.
+	Run func(*Pass) error
+	// Begin, if non-nil, is invoked once before any package. Analyzers
+	// with module-wide state reset it here so repeated driver runs (and
+	// tests) start clean.
+	Begin func()
+	// End, if non-nil, is invoked once after every package has been
+	// analyzed; report emits module-wide diagnostics. Positions are
+	// interpreted against the shared FileSet of the run.
+	End func(report func(token.Pos, string))
+}
+
+// Pass carries one package's load results to an analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	lines *LineComments // lazily built per-pass comment index
+}
+
+// Diagnostic is one finding, positioned in the run's shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// LineComments indexes every comment in a pass by file and line so
+// analyzers can resolve //simlint: suppression and annotation directives.
+type LineComments struct {
+	byLine map[string]map[int][]*ast.Comment
+}
+
+// Comments returns the pass's comment index, building it on first use.
+func (p *Pass) Comments() *LineComments {
+	if p.lines != nil {
+		return p.lines
+	}
+	lc := &LineComments{byLine: map[string]map[int][]*ast.Comment{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := p.Fset.Position(c.Pos())
+				m := lc.byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]*ast.Comment{}
+					lc.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], c)
+			}
+		}
+	}
+	p.lines = lc
+	return lc
+}
+
+// Directive reports whether the given directive comment (e.g.
+// "//simlint:allocok") appears on the node's line or the line above it —
+// the two placements gofmt preserves for line-scoped suppressions.
+func (p *Pass) Directive(pos token.Pos, directive string) bool {
+	at := p.Fset.Position(pos)
+	lc := p.Comments()
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, c := range lc.byLine[at.Filename][line] {
+			text := strings.TrimSpace(c.Text)
+			if text == directive || strings.HasPrefix(text, directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ImportedPath resolves a call like pkgname.Func(...) to the imported
+// package path and function name, or ok=false when fun is not a selector on
+// a package name.
+func (p *Pass) ImportedPath(fun ast.Expr) (path, name string, ok bool) {
+	sel, isSel := fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

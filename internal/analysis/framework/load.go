@@ -1,0 +1,135 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	PkgPath    string
+	Dir        string
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error // soft type errors (load keeps going)
+}
+
+// listPkg mirrors the fields of `go list -json` the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load parses and type-checks the packages matching patterns (relative to
+// dir, "" = cwd) into a single shared FileSet. It shells out to
+// `go list -export -deps -json`, which makes the go build cache provide gc
+// export data for every dependency — the stdlib importer then resolves
+// imports without any source re-typechecking and without x/tools.
+//
+// Type errors in a target package are collected, not fatal: a lint driver
+// must still analyze code that go vet would reject, and fixtures routinely
+// contain odd-but-compiling constructs.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		lp := p
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, &lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			return nil, fmt.Errorf("go list %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := check(fset, t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, t *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := t.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (did go list -export fail for it?)", path)
+		}
+		return os.Open(e)
+	}
+
+	pkg := &Package{PkgPath: t.ImportPath, Dir: t.Dir, Syntax: files}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Check never hard-fails: conf.Error collects and the checker recovers.
+	typed, _ := conf.Check(t.ImportPath, fset, files, info)
+	pkg.Types = typed
+	pkg.TypesInfo = info
+	return pkg, nil
+}

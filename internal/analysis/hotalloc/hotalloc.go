@@ -1,0 +1,306 @@
+// Package hotalloc checks functions annotated //simlint:noalloc for
+// allocation-inducing constructs. The simulator's cycle loop and the
+// disarmed failpoint path are benchmarked at 0 allocs/op; this analyzer
+// turns that measured property into a reviewable source-level contract.
+//
+// Annotation grammar (a directive line inside the function's doc comment):
+//
+//	//simlint:noalloc
+//	//simlint:noalloc bench=BenchmarkStep.*
+//
+// The optional bench=RE names the benchmark(s) that measure the function,
+// letting `benchjson -check-noalloc` cross-check BENCH_sim.json against the
+// annotations. Individual constructs that are reviewed-safe (e.g. append
+// into a pooled slice that never grows past its capacity) are suppressed
+// line-by-line with //simlint:allocok.
+//
+// The check is intraprocedural: calls into un-annotated helpers are not
+// followed, so annotate every function on the hot path, not just the root.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive is the annotation marker this analyzer (and benchjson) keys on.
+const Directive = "//simlint:noalloc"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-inducing constructs in //simlint:noalloc functions\n\n" +
+		"Zero-alloc hot paths (cycle loop, disarmed failpoints) must not regress silently; this pass rejects appends, closures, boxing, fmt, literals and string building inside annotated functions.",
+	Run: run,
+}
+
+// allocatingPkgs always allocate (or format) on call.
+var allocatingPkgs = map[string]bool{"fmt": true, "log": true, "errors": true}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			args, annotated := noallocArgs(fn.Doc)
+			if !annotated {
+				continue
+			}
+			if err := validateArgs(args); err != "" {
+				pass.Reportf(fn.Pos(), "bad %s directive on %s: %s", Directive, fn.Name.Name, err)
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// noallocArgs extracts the directive's key=value arguments from a doc
+// comment, reporting whether the directive is present at all.
+func noallocArgs(doc *ast.CommentGroup) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive {
+			return nil, true
+		}
+		if strings.HasPrefix(text, Directive+" ") {
+			return strings.Fields(text[len(Directive)+1:]), true
+		}
+	}
+	return nil, false
+}
+
+func validateArgs(args []string) string {
+	for _, a := range args {
+		key, val, ok := strings.Cut(a, "=")
+		if !ok || key != "bench" {
+			return "want bench=<regexp>, got " + a
+		}
+		if _, err := regexp.Compile(val); err != nil {
+			return "bench regexp does not compile: " + err.Error()
+		}
+	}
+	return ""
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	results := fn.Type.Results
+	report := func(pos token.Pos, format string, args ...any) {
+		if pass.Directive(pos, "//simlint:allocok") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, report, n)
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates a closure in noalloc function %s", fn.Name.Name)
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates in noalloc function %s", fn.Name.Name)
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates in noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					report(n.Pos(), "address of composite literal escapes to the heap in noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				report(n.Pos(), "string concatenation allocates in noalloc function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation allocates in noalloc function %s", fn.Name.Name)
+			}
+			checkAssignBoxing(pass, report, n)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := pass.TypesInfo.Types[n.Type]; ok {
+					for _, val := range n.Values {
+						reportBoxing(pass, report, val, tv.Type)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, report, results, n)
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine in noalloc function %s", fn.Name.Name)
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer may allocate its frame in noalloc function %s", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	// Conversions: string([]byte) and friends copy and allocate, and an
+	// explicit conversion to an interface type boxes like any other.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convAllocates(pass, tv.Type, call.Args[0]) {
+			report(call.Pos(), "conversion between string and byte/rune slice copies and allocates")
+		} else {
+			reportBoxing(pass, report, call.Args[0], tv.Type)
+		}
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "append":
+				report(call.Pos(), "append may grow its backing array; preallocate capacity outside the hot path")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "make":
+				report(call.Pos(), "make allocates")
+			}
+			return
+		}
+	}
+	if path, name, ok := pass.ImportedPath(call.Fun); ok && allocatingPkgs[path] {
+		report(call.Pos(), "%s.%s allocates/formats on every call", path, name)
+		return
+	}
+	checkArgBoxing(pass, report, call)
+}
+
+// checkArgBoxing flags non-pointer-shaped concrete values passed where the
+// callee expects an interface: the conversion boxes on the heap.
+func checkArgBoxing(pass *framework.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		default:
+			continue
+		}
+		reportBoxing(pass, report, arg, pt)
+	}
+}
+
+func checkAssignBoxing(pass *framework.Pass, report func(token.Pos, string, ...any), n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if tv, ok := pass.TypesInfo.Types[n.Lhs[i]]; ok {
+			reportBoxing(pass, report, rhs, tv.Type)
+		}
+	}
+}
+
+func checkReturnBoxing(pass *framework.Pass, report func(token.Pos, string, ...any), results *ast.FieldList, n *ast.ReturnStmt) {
+	if results == nil || len(n.Results) == 0 {
+		return
+	}
+	var resTypes []types.Type
+	for _, f := range results.List {
+		t := pass.TypesInfo.Types[f.Type].Type
+		for i := 0; i < max(1, len(f.Names)); i++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(resTypes) != len(n.Results) {
+		return
+	}
+	for i, res := range n.Results {
+		reportBoxing(pass, report, res, resTypes[i])
+	}
+}
+
+// reportBoxing reports when expr (a concrete, non-pointer-shaped value) is
+// converted to the interface type target.
+func reportBoxing(pass *framework.Pass, report func(token.Pos, string, ...any), expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return // interface-to-interface: no box
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(src) {
+		return // stored directly in the interface word
+	}
+	report(expr.Pos(), "value of type %s boxed into %s allocates", src, target)
+}
+
+// pointerShaped reports types the runtime stores directly in an interface
+// word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func convAllocates(pass *framework.Pass, to types.Type, arg ast.Expr) bool {
+	from, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from.Type)) ||
+		(isByteOrRuneSlice(to) && isStringType(from.Type))
+}
+
+func isString(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,34 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/hot")
+}
+
+// TestScanBenchRules checks the comments-only scanner benchjson uses: it
+// must surface exactly the annotations carrying bench= arguments.
+func TestScanBenchRules(t *testing.T) {
+	// The fixture tree lives under testdata, which ScanBenchRules skips by
+	// design (fixtures must not leak into real bench gating), so scan the
+	// analyzer package itself via a sibling copy rooted at the fixture dir.
+	rules, err := hotalloc.ScanBenchRules("testdata/src/hot")
+	if err != nil {
+		t.Fatalf("ScanBenchRules: %v", err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules, want 1: %+v", len(rules), rules)
+	}
+	r := rules[0]
+	if r.Func != "Ring.push" {
+		t.Errorf("rule func = %q, want Ring.push", r.Func)
+	}
+	if !r.Pattern.MatchString("BenchmarkPush") || r.Pattern.MatchString("BenchmarkOther") {
+		t.Errorf("rule pattern %q mismatch", r.Pattern)
+	}
+}

@@ -1,0 +1,90 @@
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// BenchRule links one //simlint:noalloc bench=RE annotation to the
+// benchmark names it governs. benchjson -check-noalloc uses these to fail
+// the build when a measured benchmark contradicts its static annotation.
+type BenchRule struct {
+	Func    string         // annotated function name (receiver-qualified)
+	Pattern *regexp.Regexp // benchmark-name regexp from bench=
+	Pos     token.Position // where the annotation lives
+}
+
+// ScanBenchRules walks the Go source tree under root (skipping testdata and
+// dot-directories) and returns every noalloc annotation that carries a
+// bench= argument. It is a comments-only parse: cheap enough for benchjson
+// to run on every bench snapshot without type-checking the module.
+func ScanBenchRules(root string) ([]BenchRule, error) {
+	var rules []BenchRule
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("scan %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			args, annotated := noallocArgs(fn.Doc)
+			if !annotated {
+				continue
+			}
+			for _, a := range args {
+				key, val, ok := strings.Cut(a, "=")
+				if !ok || key != "bench" {
+					continue // the analyzer reports grammar errors; the scan just skips
+				}
+				re, err := regexp.Compile(val)
+				if err != nil {
+					return fmt.Errorf("%s: bad bench regexp %q: %v", fset.Position(fn.Pos()), val, err)
+				}
+				rules = append(rules, BenchRule{
+					Func:    funcName(fn),
+					Pattern: re,
+					Pos:     fset.Position(fn.Pos()),
+				})
+			}
+		}
+		return nil
+	})
+	return rules, err
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,115 @@
+// Package hot is the hotalloc fixture: annotated functions must have every
+// allocation-inducing construct flagged; un-annotated functions and
+// reviewed //simlint:allocok lines must stay quiet.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ring is a pretend pooled hot-path structure.
+type Ring struct {
+	buf  []uint64
+	head int
+	tail int
+}
+
+// push is the clean negative fixture: indexed stores into preallocated
+// backing, integer arithmetic, method calls — no allocation constructs.
+//
+//simlint:noalloc bench=BenchmarkPush
+func (r *Ring) push(v uint64) bool {
+	next := (r.tail + 1) % len(r.buf)
+	if next == r.head {
+		return false
+	}
+	r.buf[r.tail] = v
+	r.tail = next
+	return true
+}
+
+//simlint:noalloc
+func grow(r *Ring, v uint64) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array`
+}
+
+//simlint:noalloc
+func closures(vs []uint64) func() uint64 {
+	f := func() uint64 { return vs[0] } // want `function literal allocates a closure`
+	return f
+}
+
+//simlint:noalloc
+func literals() int {
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	s := []int{1, 2, 3}         // want `slice literal allocates`
+	p := &Ring{}                // want `address of composite literal escapes`
+	q := new(Ring)              // want `new allocates`
+	b := make([]byte, 16)       // want `make allocates`
+	return m["a"] + s[0] + p.head + q.tail + len(b)
+}
+
+//simlint:noalloc
+func formatting(err error) string {
+	fmt.Println(err)              // want `fmt\.Println allocates/formats`
+	e := errors.New("boom")       // want `errors\.New allocates/formats`
+	return fmt.Sprintf("%v", e)   // want `fmt\.Sprintf allocates/formats`
+}
+
+//simlint:noalloc
+func strcat(a, b string, bs []byte) string {
+	s := a + b      // want `string concatenation allocates`
+	s += "suffix"   // want `string concatenation allocates`
+	t := string(bs) // want `conversion between string and byte/rune slice`
+	return s + t    // want `string concatenation allocates`
+}
+
+type sink interface{ put(uint64) }
+
+//simlint:noalloc
+func boxing(s sink, v uint64, anies []any) {
+	var x any = v // want `value of type uint64 boxed into any allocates`
+	anies[0] = x
+	consume(v) // want `value of type uint64 boxed into .* allocates`
+	s.put(v)   // method on interface receiver: no box, must stay quiet
+}
+
+func consume(v any) { _ = v }
+
+//simlint:noalloc
+func pointerShapedOK(r *Ring, ch chan int, anies []any) {
+	// Pointer-shaped values live directly in the interface word: no alloc.
+	anies[0] = r
+	anies[1] = ch
+	consume(r)
+}
+
+//simlint:noalloc
+func control(vs []uint64) {
+	go drain(vs)         // want `go statement spawns a goroutine`
+	defer release(vs)    // want `defer may allocate its frame`
+}
+
+func drain([]uint64)   {}
+func release([]uint64) {}
+
+// reviewed append into pooled storage: the line-scoped allocok directive
+// must suppress the diagnostic.
+//
+//simlint:noalloc
+func pooled(r *Ring, v uint64) {
+	r.buf = append(r.buf, v) //simlint:allocok pooled slice, capacity fixed at construction
+}
+
+// unannotated allocates freely and must not be flagged.
+func unannotated() []int {
+	out := []int{1}
+	out = append(out, 2)
+	return out
+}
+
+// badGrammar has a malformed directive argument.
+//
+//simlint:noalloc bucket=BenchmarkX
+func badGrammar() {} // want `bad //simlint:noalloc directive on badGrammar`

@@ -1,0 +1,18 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/nondeterminism"
+)
+
+// TestFixtures drives the analyzer over both the in-scope fixture (its
+// path embeds internal/sim, so the default SimStatePattern applies) and the
+// out-of-scope fixture (same constructs, zero expected diagnostics).
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, nondeterminism.Analyzer,
+		"testdata/src/internal/sim",
+		"testdata/src/other",
+	)
+}

@@ -382,7 +382,10 @@ func (e *EMC) abort(ci int, reason AbortReason, missPage uint64, now uint64) []A
 	case AbortConflict:
 		e.Stats.AbortConflict++
 	}
-	// Drop pending memory waiters belonging to this context.
+	// Drop pending memory waiters belonging to this context. Each entry is
+	// filtered and stored back (or deleted) under its own key, so the final
+	// map state is identical for every iteration order.
+	//simlint:ordered
 	for line, ws := range e.pend {
 		keep := ws[:0]
 		for _, w := range ws {

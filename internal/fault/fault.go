@@ -153,7 +153,11 @@ func (p *Point) Armed() bool { return p.armed.Load() != nil }
 func (p *Point) Fires() uint64 { return p.fires.Load() }
 
 // Fire checks the site: it returns true when the armed policy says this
-// check fires. Disarmed sites return false after one atomic load.
+// check fires. Disarmed sites return false after one atomic load — this is
+// the path compiled into the simulator's cycle loop, so it must never
+// allocate.
+//
+//simlint:noalloc
 func (p *Point) Fire() bool {
 	st := p.armed.Load()
 	if st == nil {

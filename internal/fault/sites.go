@@ -1,0 +1,39 @@
+package fault
+
+// This file is the single registry of failpoint site names. Every
+// fault.Register call in the module must pass one of these constants, each
+// constant backs exactly one site, and no site constants may be declared
+// anywhere else — all three rules are enforced at build time by the
+// failpoint analyzer (cmd/simlint), so the EMCSIM_FAILPOINTS documentation
+// below cannot drift from the code.
+//
+// Arm sites via the environment, e.g.:
+//
+//	EMCSIM_FAILPOINTS='service/worker.prerun=prob:0.01:seed7;sim/cycle=after:1000:oneshot'
+const (
+	// SiteSimCycle fires inside System.step, before the cycle's work; used
+	// to crash a simulation mid-run for checkpoint/resume testing.
+	SiteSimCycle = "sim/cycle"
+
+	// SiteQueueAdmit fires in the scheduler's admit path, before a job is
+	// enqueued.
+	SiteQueueAdmit = "service/queue.admit"
+	// SiteWorkerPre fires in the worker loop after dequeue, before the
+	// simulation runs.
+	SiteWorkerPre = "service/worker.prerun"
+	// SiteWorkerPost fires after a simulation completes, before its result
+	// is published.
+	SiteWorkerPost = "service/worker.postrun"
+	// SiteDrain fires during graceful drain/shutdown.
+	SiteDrain = "service/drain"
+
+	// SiteCacheGet fires on in-memory result-cache lookups.
+	SiteCacheGet = "service/cache.get"
+	// SiteCachePut fires on in-memory result-cache inserts.
+	SiteCachePut = "service/cache.put"
+
+	// SiteDurablePut fires while persisting a result record to disk.
+	SiteDurablePut = "service/durable.put"
+	// SiteDurableLoad fires while loading durable records at boot.
+	SiteDurableLoad = "service/durable.load"
+)

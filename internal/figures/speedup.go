@@ -1,6 +1,10 @@
 package figures
 
-import "repro/internal/sim"
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
 
 // WeightedSpeedup reports the multiprogrammed-workload metric standard in
 // memory-systems evaluations: WS = Σ_i IPC_shared,i / IPC_alone,i, where the
@@ -17,16 +21,11 @@ func (s *Suite) WeightedSpeedup() (*Table, error) {
 		}
 	}
 	var aloneSpecs []spec
-	var order []string
+	order := make([]string, 0, len(aloneNames))
 	for n := range aloneNames {
 		order = append(order, n)
 	}
-	// Deterministic order.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && order[j] < order[j-1]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	sort.Strings(order)
 	for _, n := range order {
 		aloneSpecs = append(aloneSpecs, spec{name: n + "-alone", bench: []string{n}, pf: "none"})
 	}

@@ -13,8 +13,8 @@ import (
 // cache.put drops an insert (a completed result that never becomes
 // shareable — followers must still get their copy via the job itself).
 var (
-	fpCacheGet = fault.Register("service/cache.get")
-	fpCachePut = fault.Register("service/cache.put")
+	fpCacheGet = fault.Register(fault.SiteCacheGet)
+	fpCachePut = fault.Register(fault.SiteCachePut)
 )
 
 // resultCache is the content-addressed result cache: completed Results

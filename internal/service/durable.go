@@ -23,8 +23,8 @@ import (
 // like); durable.load panics mid-boot-load, modelling a crash while
 // replaying the on-disk cache.
 var (
-	fpDurablePut  = fault.Register("service/durable.put")
-	fpDurableLoad = fault.Register("service/durable.load")
+	fpDurablePut  = fault.Register(fault.SiteDurablePut)
+	fpDurableLoad = fault.Register(fault.SiteDurableLoad)
 )
 
 // Durable record framing: magic + version + length-prefixed JSON payload +

@@ -36,10 +36,10 @@ var (
 // recomputes — determinism makes the recompute bit-identical); drain injects
 // a failure into the drain path.
 var (
-	fpQueueAdmit = fault.Register("service/queue.admit")
-	fpWorkerPre  = fault.Register("service/worker.prerun")
-	fpWorkerPost = fault.Register("service/worker.postrun")
-	fpDrain      = fault.Register("service/drain")
+	fpQueueAdmit = fault.Register(fault.SiteQueueAdmit)
+	fpWorkerPre  = fault.Register(fault.SiteWorkerPre)
+	fpWorkerPost = fault.Register(fault.SiteWorkerPost)
+	fpDrain      = fault.Register(fault.SiteDrain)
 )
 
 // panicError wraps a recovered worker panic so it can be distinguished from

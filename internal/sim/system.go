@@ -232,7 +232,7 @@ const noEvent = ^uint64(0)
 // fpCycle is the simulator's cycle-boundary failpoint: armed, it crashes a
 // run between two scheduler steps (the service's panic-retry and the chaos
 // suite drive it). Disarmed it costs one atomic load per runLoop iteration.
-var fpCycle = fault.Register("sim/cycle")
+var fpCycle = fault.Register(fault.SiteSimCycle)
 
 // ---- Object pools -------------------------------------------------------------
 
@@ -557,6 +557,8 @@ func (s *System) SkippedCycles() uint64 { return s.skipped }
 // horizon returns the earliest future cycle at which any component can do
 // work, min'd over every NextEvent. Short-circuits on now+1 (nothing to
 // skip), the common case under load.
+//
+//simlint:noalloc
 func (s *System) horizon() uint64 {
 	now := s.now
 	h := s.ctrl.NextEvent(now)
@@ -603,6 +605,7 @@ func (s *System) horizon() uint64 {
 	return h
 }
 
+//simlint:noalloc
 func (s *System) sliceNext(sl *llcSlice, now uint64) uint64 {
 	h := uint64(noEvent)
 	if sl.lkHead < len(sl.lookupQ) {
@@ -617,6 +620,11 @@ func (s *System) sliceNext(sl *llcSlice, now uint64) uint64 {
 	return h
 }
 
+// step advances one cycle. It is the per-cycle hot path: BenchmarkStepIdle
+// and BenchmarkStepSaturated pin it at 0 allocs/op, and the hotalloc
+// analyzer enforces the same property at build time.
+//
+//simlint:noalloc bench=BenchmarkStep(Idle|Saturated)
 func (s *System) step() {
 	// Event-horizon fast-forward: when every component agrees the next
 	// state change is at cycle h > now+1, the Ticks in between are pure
