@@ -52,11 +52,16 @@ chaos:
 kill-smoke:
 	GO="$(GO)" sh scripts/kill_smoke.sh
 
-# Microbenchmark smoke run: one iteration of every benchmark in the
-# simulator core, interconnect, and DRAM packages, captured as JSON so a
-# later session (or CI) can diff allocation and latency regressions.
+# Microbenchmark snapshot: every benchmark in the simulator core,
+# interconnect, and DRAM packages, captured as JSON so a later session (or
+# CI's bench job) can diff allocation and latency regressions. The iteration
+# count is pinned (not time-based) so allocs/op is deterministic: warm-up
+# loops inside the benchmarks reach steady-state pool/queue capacity, and at
+# 100 measured iterations any per-op allocation shows up as >= 1 alloc/op
+# instead of being rounded away.
+BENCHTIME ?= 100x
 bench:
-	$(GO) test -run xxx -bench . -benchtime=1x -count=1 \
+	$(GO) test -run xxx -bench . -benchtime=$(BENCHTIME) -count=1 \
 		./internal/sim/ ./internal/interconnect/ ./internal/mem/dram/ \
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json

@@ -12,6 +12,14 @@
 // and the measured truth:
 //
 //	benchjson -check-noalloc BENCH_sim.json
+//
+// With -diff-allocs it compares the allocation profile of two snapshots
+// (committed baseline vs freshly regenerated): every benchmark present in
+// either must be present in both with identical allocs/op. Timing metrics
+// are machine-dependent and deliberately ignored — allocation counts are
+// the deterministic contract CI can diff across runners:
+//
+//	benchjson -diff-allocs BENCH_sim.json /tmp/BENCH_new.json
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 func main() {
 	checkNoalloc := flag.Bool("check-noalloc", false,
 		"audit a bench JSON snapshot against //simlint:noalloc bench= annotations and exit non-zero on any violation")
+	diffAllocs := flag.Bool("diff-allocs", false,
+		"compare allocs/op between two snapshots (baseline, fresh) and exit non-zero on any difference")
 	src := flag.String("src", ".",
 		"source tree to scan for annotations (with -check-noalloc)")
 	flag.Parse()
@@ -41,7 +51,71 @@ func main() {
 		}
 		os.Exit(runCheckNoalloc(*src, file))
 	}
+	if *diffAllocs {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff-allocs needs two snapshot arguments: baseline fresh")
+			os.Exit(2)
+		}
+		os.Exit(runDiffAllocs(flag.Arg(0), flag.Arg(1)))
+	}
 	convert()
+}
+
+// loadSnapshot reads one benchjson output file.
+func loadSnapshot(file string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]map[string]float64
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", file, err)
+	}
+	return snap, nil
+}
+
+// runDiffAllocs returns the process exit code: 0 when both snapshots cover
+// the same benchmarks with identical allocs/op, 1 on any allocation drift or
+// benchmark-set drift, 2 on operational errors.
+func runDiffAllocs(baseFile, freshFile string) int {
+	base, err := loadSnapshot(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fresh, err := loadSnapshot(freshFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	bad := 0
+	for name, bm := range base {
+		fm, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s present in baseline %s but missing from %s (bench removed without regenerating the baseline?)\n",
+				name, baseFile, freshFile)
+			bad++
+			continue
+		}
+		if ba, fa := bm["allocs/op"], fm["allocs/op"]; ba != fa {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op drifted: baseline %s has %g, fresh %s has %g\n",
+				name, baseFile, ba, freshFile, fa)
+			bad++
+		}
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s present in fresh %s but missing from baseline %s (new bench: regenerate and commit the baseline)\n",
+				name, freshFile, baseFile)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d allocation diff(s) vs baseline\n", bad)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) match the baseline allocation profile\n", len(base))
+	return 0
 }
 
 // runCheckNoalloc returns the process exit code: 0 when every annotated
@@ -56,14 +130,9 @@ func runCheckNoalloc(src, file string) int {
 		fmt.Fprintf(os.Stderr, "benchjson: no %s bench= annotations under %s: nothing to check\n", hotalloc.Directive, src)
 		return 2
 	}
-	raw, err := os.ReadFile(file)
+	snap, err := loadSnapshot(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		return 2
-	}
-	var snap map[string]map[string]float64
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", file, err)
 		return 2
 	}
 

@@ -58,3 +58,46 @@ func TestCheckNoallocDrift(t *testing.T) {
 		t.Fatalf("drifted snapshot: exit %d, want 1", code)
 	}
 }
+
+// writeSnap writes one snapshot JSON file into a temp dir.
+func writeSnap(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffAllocsClean(t *testing.T) {
+	// ns/op differs (machine-dependent) but allocs/op matches: clean.
+	base := writeSnap(t, "base.json", `{"BenchmarkA": {"allocs/op": 0, "ns/op": 10}, "BenchmarkB": {"allocs/op": 2, "ns/op": 7}}`)
+	fresh := writeSnap(t, "fresh.json", `{"BenchmarkA": {"allocs/op": 0, "ns/op": 99}, "BenchmarkB": {"allocs/op": 2, "ns/op": 1}}`)
+	if code := runDiffAllocs(base, fresh); code != 0 {
+		t.Fatalf("matching profiles: exit %d, want 0", code)
+	}
+}
+
+func TestDiffAllocsRegression(t *testing.T) {
+	base := writeSnap(t, "base.json", `{"BenchmarkA": {"allocs/op": 0}}`)
+	fresh := writeSnap(t, "fresh.json", `{"BenchmarkA": {"allocs/op": 3}}`)
+	if code := runDiffAllocs(base, fresh); code != 1 {
+		t.Fatalf("alloc regression: exit %d, want 1", code)
+	}
+}
+
+func TestDiffAllocsSetDrift(t *testing.T) {
+	// A benchmark missing from either side is drift in both directions.
+	base := writeSnap(t, "base.json", `{"BenchmarkA": {"allocs/op": 0}, "BenchmarkGone": {"allocs/op": 0}}`)
+	fresh := writeSnap(t, "fresh.json", `{"BenchmarkA": {"allocs/op": 0}, "BenchmarkNew": {"allocs/op": 0}}`)
+	if code := runDiffAllocs(base, fresh); code != 1 {
+		t.Fatalf("benchmark-set drift: exit %d, want 1", code)
+	}
+}
+
+func TestDiffAllocsBadFile(t *testing.T) {
+	base := writeSnap(t, "base.json", `{"BenchmarkA": {"allocs/op": 0}}`)
+	if code := runDiffAllocs(base, filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Fatalf("missing snapshot: exit %d, want 2", code)
+	}
+}

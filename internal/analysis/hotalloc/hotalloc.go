@@ -14,11 +14,19 @@
 // into a pooled slice that never grows past its capacity) are suppressed
 // line-by-line with //simlint:allocok.
 //
-// The check is intraprocedural: calls into un-annotated helpers are not
-// followed, so annotate every function on the hot path, not just the root.
+// The check is mostly intraprocedural, with one level of propagation: when a
+// //simlint:noalloc function calls an un-annotated function declared in the
+// same package, the callee's body is scanned with the same construct checks
+// and any unsuppressed allocation is reported at the call site. Fix either by
+// annotating the callee (making the obligation explicit and transitive to its
+// own callees) or by suppressing the call with //simlint:allocok when the
+// callee is reviewed-safe or genuinely cold. Propagation does not recurse
+// past the first un-annotated hop — deeper hot paths must be annotated link
+// by link so the contract stays visible in the source.
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -43,24 +51,51 @@ var Analyzer = &framework.Analyzer{
 var allocatingPkgs = map[string]bool{"fmt": true, "log": true, "errors": true}
 
 func run(pass *framework.Pass) error {
+	st := &state{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		annotated: map[*ast.FuncDecl]bool{},
+		calleeMsg: map[*ast.FuncDecl]string{},
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			args, annotated := noallocArgs(fn.Doc)
-			if !annotated {
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				st.decls[obj] = fn
+			}
+			_, st.annotated[fn] = noallocArgs(fn.Doc)
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !st.annotated[fn] {
 				continue
 			}
+			args, _ := noallocArgs(fn.Doc)
 			if err := validateArgs(args); err != "" {
 				pass.Reportf(fn.Pos(), "bad %s directive on %s: %s", Directive, fn.Name.Name, err)
 			}
-			checkFunc(pass, fn)
+			st.checkFunc(fn)
 		}
 	}
 	return nil
 }
+
+// state carries the per-package indexes the propagation step needs: every
+// declared function keyed by its types object, which are annotated, and a
+// memo of each un-annotated callee's first unsuppressed allocation.
+type state struct {
+	pass      *framework.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	annotated map[*ast.FuncDecl]bool
+	calleeMsg map[*ast.FuncDecl]string
+}
+
+type reportFn func(token.Pos, string, ...any)
 
 // noallocArgs extracts the directive's key=value arguments from a doc
 // comment, reporting whether the directive is present at all.
@@ -93,19 +128,80 @@ func validateArgs(args []string) string {
 	return ""
 }
 
-func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
-	results := fn.Type.Results
+func (st *state) checkFunc(fn *ast.FuncDecl) {
 	report := func(pos token.Pos, format string, args ...any) {
-		if pass.Directive(pos, "//simlint:allocok") {
+		if st.pass.Directive(pos, "//simlint:allocok") {
 			return
 		}
-		pass.Reportf(pos, format, args...)
+		st.pass.Reportf(pos, format, args...)
 	}
+	st.inspect(fn, report, true)
+}
+
+// checkCallee applies the one-level propagation rule: a call from a noalloc
+// function to an un-annotated function declared in this package is reported
+// when the callee's own body contains an unsuppressed allocation construct.
+// Annotated callees are skipped (they carry their own obligation), as are
+// callees without source in this package (builtins, imports, interface
+// methods — checkCall handles the ones that always allocate).
+func (st *state) checkCallee(report reportFn, call *ast.CallExpr) {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = st.pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = st.pass.TypesInfo.Uses[f.Sel]
+	default:
+		return
+	}
+	fnObj, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	decl, ok := st.decls[fnObj]
+	if !ok || st.annotated[decl] {
+		return
+	}
+	if msg := st.calleeFirstAlloc(decl); msg != "" {
+		report(call.Pos(), "call to un-annotated %s, which allocates (%s); annotate it %s or suppress this call",
+			fnObj.Name(), msg, Directive)
+	}
+}
+
+// calleeFirstAlloc scans an un-annotated function body with the construct
+// checks (no further propagation) and returns its first unsuppressed
+// allocation message, or "" if the body is allocation-free. Memoized so each
+// callee is scanned once per package no matter how many hot callers it has.
+func (st *state) calleeFirstAlloc(fn *ast.FuncDecl) string {
+	if msg, ok := st.calleeMsg[fn]; ok {
+		return msg
+	}
+	var first string
+	report := func(pos token.Pos, format string, args ...any) {
+		if first != "" || st.pass.Directive(pos, "//simlint:allocok") {
+			return
+		}
+		first = fmt.Sprintf(format, args...)
+	}
+	st.inspect(fn, report, false)
+	st.calleeMsg[fn] = first
+	return first
+}
+
+// inspect walks fn's body applying the construct checks through report. When
+// propagate is true, same-package un-annotated callees are additionally
+// scanned one level deep.
+func (st *state) inspect(fn *ast.FuncDecl, report reportFn, propagate bool) {
+	pass := st.pass
+	results := fn.Type.Results
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, report, n)
+			if propagate {
+				st.checkCallee(report, n)
+			}
 		case *ast.FuncLit:
 			report(n.Pos(), "function literal allocates a closure in noalloc function %s", fn.Name.Name)
 		case *ast.CompositeLit:

@@ -109,6 +109,46 @@ func unannotated() []int {
 	return out
 }
 
+// helperAllocs is un-annotated and allocates: calls from noalloc functions
+// must be flagged at the call site (one-level propagation).
+func helperAllocs(r *Ring) {
+	r.buf = append(r.buf, 1)
+}
+
+// helperClean is un-annotated and allocation-free: calls stay quiet.
+func helperClean(r *Ring) int { return r.head }
+
+// helperSuppressed allocates only on internally reviewed lines, so it is
+// clean from a caller's point of view.
+func helperSuppressed(r *Ring, v uint64) {
+	r.buf = append(r.buf, v) //simlint:allocok pooled slice, capacity fixed at construction
+}
+
+//simlint:noalloc
+func propagates(r *Ring) int {
+	helperAllocs(r)         // want `call to un-annotated helperAllocs, which allocates \(append may grow`
+	helperSuppressed(r, 2)  // internally suppressed: no call-site diagnostic
+	r.push(helperAllocs2()) // want `call to un-annotated helperAllocs2, which allocates`
+	return helperClean(r)
+}
+
+func helperAllocs2() uint64 { return uint64(len(make([]byte, 8))) }
+
+//simlint:noalloc
+func propagationSuppressed(r *Ring) {
+	helperAllocs(r) //simlint:allocok cold slow path, reviewed
+}
+
+// propagation is one level only: callersOfCallers is un-annotated, so even
+// though it calls helperAllocs, noalloc callers of IT are not flagged — the
+// chain must be annotated link by link.
+func callersOfCallers(r *Ring) { helperAllocs(r) }
+
+//simlint:noalloc
+func oneLevelOnly(r *Ring) {
+	callersOfCallers(r)
+}
+
 // badGrammar has a malformed directive argument.
 //
 //simlint:noalloc bucket=BenchmarkX

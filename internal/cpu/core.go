@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/isa"
@@ -125,10 +126,13 @@ const (
 	srcTag
 )
 
+// robEntry holds the cold per-slot state. The fields the per-cycle scan
+// loops touch (issue, retry sweeps, wakeups, chain walks) live in dense
+// parallel arrays on Core — see the "hot per-slot state" block there
+// (struct-of-arrays, DESIGN.md §13.1) — so those loops walk a few cache
+// lines instead of striding over ~250-byte entries.
 type robEntry struct {
-	u     isa.Uop
-	state entryState
-	seq   uint64 // dispatch order (monotone)
+	u isa.Uop
 
 	srcKind  [2]srcKind
 	srcVal   [2]uint64
@@ -227,10 +231,11 @@ type Stats struct {
 
 // Core is one simulated out-of-order core.
 type Core struct {
-	cfg    Config
-	feed   *peekFeed
-	done   bool // trace exhausted
-	uncore Uncore
+	cfg      Config
+	feed     *peekFeed
+	done     bool // trace exhausted
+	finished bool // Finished() latched true (monotone once done+drained)
+	uncore   Uncore
 
 	pt  *vm.PageTable
 	tlb *vm.TLB
@@ -243,6 +248,18 @@ type Core struct {
 	robCount int
 	nextSeq  uint64
 
+	// Hot per-slot state, struct-of-arrays (indexed by ROB slot, DESIGN.md
+	// §13.1). The per-cycle scan loops read only these dense arrays; the
+	// cold remainder of each entry stays in rob[].
+	st         []entryState
+	seq        []uint64
+	ops        []isa.Op // mirror of rob[i].u.Op, set at dispatch
+	remote     []bool
+	memBlocked []bool
+	addrValid  []bool
+	blockStore []int32
+	blockSeq   []uint64
+
 	renameMap [isa.NumArchRegs]int32
 	archVal   [isa.NumArchRegs]uint64
 	archTaint [isa.NumArchRegs]bool
@@ -252,6 +269,10 @@ type Core struct {
 
 	events    [eventHorizon][]int32
 	pendingEv int // scheduled-but-not-yet-drained completion events
+	// evMask mirrors events occupancy: bit b of evMask[b/64] is set iff
+	// events[b] is non-empty, so NextEvent finds the earliest completion
+	// with a handful of TrailingZeros64 probes instead of a 255-bucket scan.
+	evMask [eventHorizon / 64]uint64
 	lq, sq    []int32 // rob slots of in-flight loads/stores, program order
 	blockedLd []int32 // loads waiting on LSQ conditions or MSHR space
 
@@ -305,9 +326,17 @@ func New(cfg Config, feed trace.Reader, pt *vm.PageTable, uncore Uncore) *Core {
 			SizeBytes: cfg.L1ISize, Ways: cfg.L1IWays, Latency: cfg.L1Latency, WriteThrough: true}),
 		l1d: cache.New(cache.Config{Name: fmt.Sprintf("l1d%d", cfg.ID),
 			SizeBytes: cfg.L1DSize, Ways: cfg.L1DWays, Latency: cfg.L1Latency, WriteThrough: true}),
-		msh:       cache.NewMSHRFile(cfg.MSHRs),
-		rob:       make([]robEntry, cfg.ROBSize),
-		fetchHold: -1,
+		msh:        cache.NewMSHRFile(cfg.MSHRs),
+		rob:        make([]robEntry, cfg.ROBSize),
+		st:         make([]entryState, cfg.ROBSize),
+		seq:        make([]uint64, cfg.ROBSize),
+		ops:        make([]isa.Op, cfg.ROBSize),
+		remote:     make([]bool, cfg.ROBSize),
+		memBlocked: make([]bool, cfg.ROBSize),
+		addrValid:  make([]bool, cfg.ROBSize),
+		blockStore: make([]int32, cfg.ROBSize),
+		blockSeq:   make([]uint64, cfg.ROBSize),
+		fetchHold:  -1,
 	}
 	for i := range c.renameMap {
 		c.renameMap[i] = -1
@@ -337,8 +366,17 @@ func (c *Core) ROBOccupancy() int { return c.robCount }
 func (c *Core) MSHROccupancy() int { return c.msh.Len() }
 
 // Finished reports whether the trace is exhausted and the pipeline drained.
+// The condition is monotone — once the trace is done and the window, store
+// buffer, and fetch stage are empty, no new work can arrive — so the result
+// latches and repeat callers (the per-step scheduler loop) take the fast path.
 func (c *Core) Finished() bool {
-	return c.done && c.robCount == 0 && len(c.storeBuf) == c.storeHead && c.pendingFetch == nil
+	if c.finished {
+		return true
+	}
+	if c.done && c.robCount == 0 && len(c.storeBuf) == c.storeHead && c.pendingFetch == nil {
+		c.finished = true
+	}
+	return c.finished
 }
 
 func (c *Core) slot(i int32) *robEntry { return &c.rob[i] }
@@ -369,11 +407,11 @@ func (c *Core) retire() {
 	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
 		idx := int32(c.robHead)
 		e := c.slot(idx)
-		if e.state != stDone {
-			if e.remote {
+		if c.st[idx] != stDone {
+			if c.remote[idx] {
 				c.Stats.RemoteHeadStall++
 			}
-			if e.u.Op == isa.OpLoad && e.isLLCMiss {
+			if c.ops[idx] == isa.OpLoad && e.isLLCMiss {
 				if c.robCount == c.cfg.ROBSize {
 					c.Stats.FullWindowStalls++
 				}
@@ -406,7 +444,7 @@ func (c *Core) retire() {
 		case isa.OpStore:
 			c.sq = removeSlot(c.sq, idx)
 		}
-		e.state = stEmpty
+		c.st[idx] = stEmpty
 		e.consumers = e.consumers[:0]
 		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 		c.robCount--
@@ -453,7 +491,9 @@ func (c *Core) schedule(idx int32, at uint64) {
 	if at-c.now >= eventHorizon {
 		panic("cpu: completion scheduled beyond event horizon")
 	}
-	c.events[at%eventHorizon] = append(c.events[at%eventHorizon], idx)
+	b := at % eventHorizon
+	c.events[b] = append(c.events[b], idx)
+	c.evMask[b>>6] |= 1 << (b & 63)
 	c.pendingEv++
 }
 
@@ -466,13 +506,13 @@ func (c *Core) complete() {
 	// schedule() never targets the current cycle's bucket (at >= now+1 and
 	// at-now < eventHorizon), so reusing the backing array here is safe.
 	c.events[bucket] = list[:0]
+	c.evMask[bucket>>6] &^= 1 << (bucket & 63)
 	c.pendingEv -= len(list)
 	for _, idx := range list {
-		e := c.slot(idx)
-		if e.state != stIssued {
+		if c.st[idx] != stIssued {
 			continue
 		}
-		c.finish(idx, e.val)
+		c.finish(idx, c.slot(idx).val)
 	}
 }
 
@@ -480,10 +520,10 @@ func (c *Core) complete() {
 func (c *Core) finish(idx int32, val uint64) {
 	e := c.slot(idx)
 	e.val = val
-	e.state = stDone
+	c.st[idx] = stDone
 	for _, cons := range e.consumers {
 		ce := c.slot(cons)
-		if ce.state == stEmpty {
+		if c.st[cons] == stEmpty {
 			continue
 		}
 		for s := 0; s < 2; s++ {
@@ -501,16 +541,16 @@ func (c *Core) finish(idx int32, val uint64) {
 }
 
 func (c *Core) maybeWake(idx int32) {
-	e := c.slot(idx)
-	if e.state != stWaiting {
+	if c.st[idx] != stWaiting {
 		return
 	}
+	e := c.slot(idx)
 	for s := 0; s < 2; s++ {
 		if e.srcKind[s] == srcTag {
 			return
 		}
 	}
-	e.state = stReady
+	c.st[idx] = stReady
 	c.readyQ = append(c.readyQ, idx)
 }
 
@@ -526,33 +566,33 @@ func (c *Core) issue() {
 	for i < len(c.readyQ) && issued < c.cfg.IssueWidth {
 		idx := c.readyQ[i]
 		i++
-		e := c.slot(idx)
-		if e.state != stReady || e.remote {
+		if c.st[idx] != stReady || c.remote[idx] {
 			// Stale, or shipped to the EMC (completion arrives as a live-out).
 			continue
 		}
-		if e.u.IsMem() && memIssued >= c.cfg.MemPorts {
+		op := c.ops[idx]
+		isMem := op == isa.OpLoad || op == isa.OpStore
+		if isMem && memIssued >= c.cfg.MemPorts {
 			c.readyQ[w] = idx
 			w++
 			continue
 		}
-		if e.blockStore >= 0 {
+		if bs := c.blockStore[idx]; bs >= 0 {
 			// Load still blocked on the same unresolved older store: the
 			// issueOne attempt would park it again with no net state change
 			// (issuedAt and recomputed taint fields are unobservable until a
 			// successful issue), so re-park directly. rsCount is untouched —
 			// the attempt's decrement/increment pair cancels.
-			se := c.slot(e.blockStore)
-			if se.seq == e.blockSeq && storeUnresolved(se) {
-				e.memBlocked = true
+			if c.seq[bs] == c.blockSeq[idx] && c.storeUnresolved(bs) {
+				c.memBlocked[idx] = true
 				c.blockedLd = append(c.blockedLd, idx)
 				continue
 			}
-			e.blockStore = -1
+			c.blockStore[idx] = -1
 		}
 		if c.issueOne(idx) {
 			issued++
-			if e.u.IsMem() {
+			if isMem {
 				memIssued++
 			}
 		}
@@ -568,7 +608,7 @@ func (c *Core) issue() {
 // issueOne executes an entry. Returns false if it could not issue (parked).
 func (c *Core) issueOne(idx int32) bool {
 	e := c.slot(idx)
-	e.state = stIssued
+	c.st[idx] = stIssued
 	e.issuedAt = c.now
 	c.rsCount--
 	e.taint = e.srcTaint[0] || e.srcTaint[1]
@@ -588,10 +628,10 @@ func (c *Core) issueOne(idx int32) bool {
 		e.vaddr = isa.AddrOf(&e.u, e.srcVal[0])
 		paddr, tlbLat := c.translate(e.vaddr)
 		e.paddr = paddr
-		e.addrValid = true
+		c.addrValid[idx] = true
 		e.val = e.srcVal[1]
 		c.schedule(idx, c.now+1+uint64(tlbLat))
-		c.checkLateDisambiguation(e)
+		c.checkLateDisambiguation(idx)
 		c.unblockLoadsFor()
 		return true
 	case isa.ClassBranch:
@@ -636,7 +676,7 @@ func (c *Core) Fill(lineAddr uint64, now uint64) (victim uint64, hadVictim bool)
 	for _, w := range m.Waiters {
 		idx := int32(w)
 		e := c.slot(idx)
-		if e.state != stIssued || e.u.Op != isa.OpLoad || cache.LineAddr(e.paddr) != lineAddr {
+		if c.st[idx] != stIssued || c.ops[idx] != isa.OpLoad || cache.LineAddr(e.paddr) != lineAddr {
 			continue
 		}
 		e.val = e.u.Value
@@ -722,8 +762,16 @@ func (c *Core) dispatchUop(u *isa.Uop) {
 	c.robCount++
 	e := c.slot(idx)
 	cons := e.consumers[:0]
-	*e = robEntry{u: *u, state: stWaiting, seq: c.nextSeq, blockStore: -1}
+	*e = robEntry{u: *u}
 	e.consumers = cons
+	c.st[idx] = stWaiting
+	c.seq[idx] = c.nextSeq
+	c.ops[idx] = u.Op
+	c.remote[idx] = false
+	c.memBlocked[idx] = false
+	c.addrValid[idx] = false
+	c.blockStore[idx] = -1
+	c.blockSeq[idx] = 0
 	c.nextSeq++
 	c.rsCount++
 
@@ -735,7 +783,7 @@ func (c *Core) dispatchUop(u *isa.Uop) {
 		}
 		if prod := c.renameMap[r]; prod >= 0 {
 			pe := c.slot(prod)
-			if pe.state == stDone {
+			if c.st[prod] == stDone {
 				e.srcKind[s] = srcValue
 				e.srcVal[s] = pe.val
 				e.srcTaint[s] = pe.taint
@@ -796,13 +844,14 @@ func (c *Core) drainStoreBuffer() {
 // checkLateDisambiguation catches the ordering violation the EMC cannot see:
 // an older store resolving to the same address as a younger load the EMC
 // already executed. The affected chain must be cancelled (§4.3).
-func (c *Core) checkLateDisambiguation(st *robEntry) {
+func (c *Core) checkLateDisambiguation(sIdx int32) {
 	if !c.cfg.EMCEnabled {
 		return
 	}
+	st := c.slot(sIdx)
 	for _, lIdx := range c.lq {
 		le := c.slot(lIdx)
-		if le.seq <= st.seq || !le.inChain || !le.addrValid || le.chainRef == nil {
+		if c.seq[lIdx] <= c.seq[sIdx] || !le.inChain || !c.addrValid[lIdx] || le.chainRef == nil {
 			continue
 		}
 		if le.vaddr == st.vaddr {
@@ -849,31 +898,36 @@ func (c *Core) NextEvent(now uint64) uint64 {
 		return NoEvent
 	}
 	// Queues the per-cycle stages drain unconditionally.
-	if len(c.storeBuf) > c.storeHead || len(c.readyQ) > 0 ||
-		len(c.blockedLd) > 0 || len(c.conflicted) > 0 {
+	if len(c.storeBuf) > c.storeHead || len(c.readyQ) > 0 || len(c.conflicted) > 0 {
 		return now + 1
 	}
-	head := c.slot(int32(c.robHead))
-	if c.robCount > 0 && head.state == stDone {
+	// Parked loads churn through the retry sweep every cycle, but while each
+	// one is still blocked on the same unresolved older store the sweep is a
+	// fixed point: blockedLd -> readyQ -> blockedLd in identical order with no
+	// counter or architectural change, so those cycles are skippable. The
+	// blocking store resolves only through an event this function already
+	// accounts for (a wheel completion waking it, or an external fill/ring
+	// message that wakes the whole system). Loads parked for any other reason
+	// (MSHR pressure) keep forcing per-cycle ticking.
+	for _, idx := range c.blockedLd {
+		bs := c.blockStore[idx]
+		if bs < 0 || c.seq[bs] != c.blockSeq[idx] || !c.storeUnresolved(bs) {
+			return now + 1
+		}
+	}
+	if c.robCount > 0 && c.st[c.robHead] == stDone {
 		return now + 1 // retirement progresses
 	}
 	// Chain generation or a runahead episode would fire on the next Tick.
+	headSeq := c.seq[c.robHead]
 	if c.cfg.EMCEnabled && len(c.chains) < c.cfg.MaxActiveChains &&
-		c.FullWindowStalled() && c.DepCounterHigh() && head.seq != c.lastChainAttempt {
+		c.FullWindowStalled() && c.DepCounterHigh() && headSeq != c.lastChainAttempt {
 		return now + 1
 	}
-	if c.ra.Enabled && c.FullWindowStalled() && head.seq != c.lastRunahead {
+	if c.ra.Enabled && c.FullWindowStalled() && headSeq != c.lastRunahead {
 		return now + 1
 	}
-	h := NoEvent
-	if c.pendingEv > 0 {
-		for dt := uint64(1); dt < eventHorizon; dt++ {
-			if len(c.events[(now+dt)%eventHorizon]) > 0 {
-				h = now + dt
-				break
-			}
-		}
-	}
+	h := c.earliestEvent(now)
 	// Generated chains become transmittable (or cancellable) at ReadyAt.
 	for _, ch := range c.chains {
 		if ch.GeneratedAt != 0 {
@@ -891,6 +945,26 @@ func (c *Core) NextEvent(now uint64) uint64 {
 		h = d
 	}
 	return h
+}
+
+// earliestEvent returns the earliest cycle > now holding a scheduled
+// completion, or NoEvent. It walks the evMask occupancy bitmap starting at
+// the bucket for now+1, wrapping around the wheel; because schedule()
+// guarantees at-now < eventHorizon and complete() drains the current
+// bucket, every set bit it can encounter is a genuine future completion.
+func (c *Core) earliestEvent(now uint64) uint64 {
+	if c.pendingEv == 0 {
+		return NoEvent
+	}
+	start := (now + 1) % eventHorizon
+	for off := uint64(0); off < eventHorizon; {
+		b := (start + off) % eventHorizon
+		if w := c.evMask[b>>6] >> (b & 63); w != 0 {
+			return now + 1 + off + uint64(bits.TrailingZeros64(w))
+		}
+		off += 64 - (b & 63) // jump to the next word boundary
+	}
+	return NoEvent
 }
 
 // dispatchHorizon is the front end's contribution to NextEvent: the cycle
@@ -938,11 +1012,11 @@ func (c *Core) SkipIdle(now, delta uint64) {
 	c.Stats.Cycles += delta
 	if c.robCount > 0 {
 		e := c.slot(int32(c.robHead))
-		if e.state != stDone {
-			if e.remote {
+		if c.st[c.robHead] != stDone {
+			if c.remote[c.robHead] {
 				c.Stats.RemoteHeadStall += delta
 			}
-			if e.u.Op == isa.OpLoad && e.isLLCMiss && c.robCount == c.cfg.ROBSize {
+			if c.ops[c.robHead] == isa.OpLoad && e.isLLCMiss && c.robCount == c.cfg.ROBSize {
 				c.Stats.FullWindowStalls += delta
 			}
 			if c.robCount == c.cfg.ROBSize {
@@ -974,6 +1048,6 @@ func (c *Core) FullWindowStalled() bool {
 	if c.robCount < c.cfg.ROBSize && c.rsCount < c.cfg.RSSize {
 		return false
 	}
-	e := c.slot(int32(c.robHead))
-	return e.u.Op == isa.OpLoad && e.state == stIssued && e.isLLCMiss
+	return c.ops[c.robHead] == isa.OpLoad && c.st[c.robHead] == stIssued &&
+		c.slot(int32(c.robHead)).isLLCMiss
 }

@@ -18,13 +18,12 @@ func (c *Core) issueLoad(idx int32) bool {
 	// below would stop at it again — park without rescanning. The skipped
 	// prefix only reads resolved older stores (no side effects), and stores
 	// never become unresolved again, so outcomes are identical.
-	if e.blockStore >= 0 {
-		se := c.slot(e.blockStore)
-		if se.seq == e.blockSeq && storeUnresolved(se) {
+	if bs := c.blockStore[idx]; bs >= 0 {
+		if c.seq[bs] == c.blockSeq[idx] && c.storeUnresolved(bs) {
 			c.parkLoad(idx)
 			return false
 		}
-		e.blockStore = -1
+		c.blockStore[idx] = -1
 	}
 
 	// Memory ordering: scan older stores. An older store with an unresolved
@@ -32,20 +31,19 @@ func (c *Core) issueLoad(idx int32) bool {
 	// older store to the same dword forwards its data.
 	var forwardFrom *robEntry
 	for _, sIdx := range c.sq {
-		se := c.slot(sIdx)
-		if se.seq >= e.seq {
+		if c.seq[sIdx] >= c.seq[idx] {
 			break
 		}
-		if storeUnresolved(se) {
+		if c.storeUnresolved(sIdx) {
 			// Remote stores (executing at the EMC) resolve via the
 			// address-ring message; until then they block younger loads like
 			// any unresolved store.
-			e.blockStore = sIdx
-			e.blockSeq = se.seq
+			c.blockStore[idx] = sIdx
+			c.blockSeq[idx] = c.seq[sIdx]
 			c.parkLoad(idx)
 			return false
 		}
-		if se.addrValid && se.vaddr == e.vaddr {
+		if se := c.slot(sIdx); c.addrValid[sIdx] && se.vaddr == e.vaddr {
 			forwardFrom = se // youngest older match wins
 		}
 	}
@@ -59,7 +57,7 @@ func (c *Core) issueLoad(idx int32) bool {
 
 	paddr, tlbLat := c.translate(e.vaddr)
 	e.paddr = paddr
-	e.addrValid = true
+	c.addrValid[idx] = true
 
 	if c.l1d.Access(paddr, false) {
 		e.val = e.u.Value
@@ -106,13 +104,13 @@ func (c *Core) NoteLLCMiss(lineAddr uint64) {
 	for _, w := range m.Waiters {
 		idx := int32(w)
 		e := c.slot(idx)
-		if e.state != stIssued || e.u.Op != isa.OpLoad || cache.LineAddr(e.paddr) != lineAddr {
+		if c.st[idx] != stIssued || c.ops[idx] != isa.OpLoad || cache.LineAddr(e.paddr) != lineAddr {
 			continue
 		}
 		e.isLLCMiss = true
 		e.taint = true
 		e.taintSrc = idx
-		e.taintSeq = e.seq
+		e.taintSeq = c.seq[idx]
 		c.Stats.LLCMissLoads++
 		// Counter training (§4.2) happens here, when the LLC outcome is
 		// known: a dependent miss is direct evidence that misses are having
@@ -127,9 +125,8 @@ func (c *Core) NoteLLCMiss(lineAddr uint64) {
 			// evidence; one burst of streaming misses must not erase them.
 			c.bumpDepCounter(2)
 			if p := e.srcTaintSrc[0]; p >= 0 {
-				pe := c.slot(p)
-				if pe.state != stEmpty && pe.seq == e.srcTaintSeq[0] {
-					pe.producedDepMiss = true
+				if c.st[p] != stEmpty && c.seq[p] == e.srcTaintSeq[0] {
+					c.slot(p).producedDepMiss = true
 				}
 			}
 		} else {
@@ -138,19 +135,20 @@ func (c *Core) NoteLLCMiss(lineAddr uint64) {
 	}
 }
 
-// storeUnresolved reports whether a store queue entry still has an unknown
-// address (it blocks younger loads under conservative disambiguation).
-func storeUnresolved(se *robEntry) bool {
-	return se.state == stWaiting || se.state == stReady ||
-		(se.state == stIssued && !se.addrValid)
+// storeUnresolved reports whether the store queue entry in slot sIdx still
+// has an unknown address (it blocks younger loads under conservative
+// disambiguation).
+func (c *Core) storeUnresolved(sIdx int32) bool {
+	st := c.st[sIdx]
+	return st == stWaiting || st == stReady ||
+		(st == stIssued && !c.addrValid[sIdx])
 }
 
 // parkLoad returns a load to the blocked list; it re-enters the ready queue
 // on the next retry sweep.
 func (c *Core) parkLoad(idx int32) {
-	e := c.slot(idx)
-	e.state = stReady
-	e.memBlocked = true
+	c.st[idx] = stReady
+	c.memBlocked[idx] = true
 	c.rsCount++ // it still occupies its RS entry
 	c.blockedLd = append(c.blockedLd, idx)
 }
@@ -163,11 +161,10 @@ func (c *Core) retryBlockedLoads() {
 	list := c.blockedLd
 	c.blockedLd = c.blockedLd[:0]
 	for _, idx := range list {
-		e := c.slot(idx)
-		if e.state != stReady || !e.memBlocked {
+		if c.st[idx] != stReady || !c.memBlocked[idx] {
 			continue
 		}
-		e.memBlocked = false
+		c.memBlocked[idx] = false
 		c.readyQ = append(c.readyQ, idx)
 	}
 }

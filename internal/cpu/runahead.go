@@ -102,11 +102,11 @@ func (c *Core) maybeRunahead() {
 	if !c.FullWindowStalled() {
 		return
 	}
-	head := c.slot(int32(c.robHead))
-	if head.seq == c.lastRunahead {
+	headSeq := c.seq[c.robHead]
+	if headSeq == c.lastRunahead {
 		return
 	}
-	c.lastRunahead = head.seq
+	c.lastRunahead = headSeq
 	c.runaheadEpisode(int32(c.robHead))
 }
 
@@ -126,9 +126,8 @@ func (c *Core) snapshotRegs() regView {
 	var v regView
 	for r := 0; r < isa.NumArchRegs; r++ {
 		if prod := c.renameMap[r]; prod >= 0 {
-			pe := c.slot(prod)
-			if pe.state == stDone {
-				v.val[r] = pe.val
+			if c.st[prod] == stDone {
+				v.val[r] = c.slot(prod).val
 			} else {
 				v.inv[r] = true
 			}
@@ -194,11 +193,11 @@ func (c *Core) runaheadEpisode(srcIdx int32) {
 
 	// Phase 1: the not-yet-completed tail of the window (beyond the head).
 	for off := 1; off < c.robCount; off++ {
-		e := c.slot(c.robIndexAt(off))
-		if e.state == stDone || e.state == stEmpty {
+		idx := c.robIndexAt(off)
+		if st := c.st[idx]; st == stDone || st == stEmpty {
 			continue
 		}
-		u := e.u
+		u := c.slot(idx).u
 		if !process(&u) {
 			return
 		}

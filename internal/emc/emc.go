@@ -167,6 +167,12 @@ type pendingMem struct {
 	line uint64
 }
 
+// pendCap bounds the pending-memory list: every context can have at most
+// RSSize loads in flight, so the list stays a handful of entries and a flat
+// insertion-ordered slice beats a map (dense scan, no per-append allocation,
+// deterministic order for free).
+const pendCap = 16
+
 // MismatchDebug, when non-nil, receives address-mismatch details (tests).
 var MismatchDebug func(ch *cpu.Chain, uop int, got uint64)
 
@@ -181,7 +187,9 @@ type EMC struct {
 
 	ctxs []context
 
-	pend map[uint64][]pendingMem // line -> waiting EMC loads
+	// pend holds EMC loads waiting for a line fill, in issue order (the
+	// order FillMem wakes same-line waiters in).
+	pend []pendingMem
 
 	Stats Stats
 }
@@ -194,7 +202,7 @@ func New(cfg Config, id, cores int) *EMC {
 		dcache: cache.New(cache.Config{Name: "emc$", SizeBytes: cfg.CacheSize,
 			Ways: cfg.CacheWays, Latency: cfg.CacheLatency}),
 		ctxs: make([]context, cfg.Contexts),
-		pend: make(map[uint64][]pendingMem),
+		pend: make([]pendingMem, 0, pendCap),
 	}
 	for i := 0; i < cores; i++ {
 		e.tlbs = append(e.tlbs, vm.NewEMCTLBShift(cfg.TLBEntriesPerCore, cfg.PageShift))
@@ -263,12 +271,20 @@ func (e *EMC) InstallChain(ch *cpu.Chain, pte *vm.PTE, sourceVPage uint64, sourc
 		return false
 	}
 	_ = idx
+	// Reset in place, recycling the slot's state/vals/lsq backing arrays
+	// (chains are <=16 uops, so these stabilize after the first installs).
+	st, vs, lsq := ctx.state[:0], ctx.vals[:0], ctx.lsq[:0]
+	for range ch.Uops {
+		st = append(st, uWaiting)
+		vs = append(vs, 0)
+	}
 	*ctx = context{
 		busy:  true,
 		chain: ch,
 		core:  ch.CoreID,
-		state: make([]uopState, len(ch.Uops)),
-		vals:  make([]uint64, len(ch.Uops)),
+		state: st,
+		vals:  vs,
+		lsq:   lsq,
 	}
 	// The source-miss PTE rides along if not already resident (§4.1.4).
 	if pte != nil {
@@ -340,17 +356,23 @@ func pcHash(pc uint64) uint64 {
 // or DRAM path). actualMiss records whether the line really missed the LLC,
 // training the predictor's accuracy stats.
 func (e *EMC) FillMem(lineAddr uint64, now uint64) []Action {
-	waiters := e.pend[lineAddr]
-	delete(e.pend, lineAddr)
 	var acts []Action
-	for _, w := range waiters {
-		ctx := &e.ctxs[w.ctx]
-		if !ctx.busy || ctx.state[w.uop] != uIssued {
+	// Wake this line's waiters in issue order, compacting survivors in place.
+	w := 0
+	for _, p := range e.pend {
+		if p.line != lineAddr {
+			e.pend[w] = p
+			w++
+			continue
+		}
+		ctx := &e.ctxs[p.ctx]
+		if !ctx.busy || ctx.state[p.uop] != uIssued {
 			continue
 		}
 		ctx.memBusy--
-		acts = append(acts, e.completeUop(w.ctx, w.uop, now)...)
+		acts = append(acts, e.completeUop(p.ctx, p.uop, now)...)
 	}
+	e.pend = e.pend[:w]
 	e.dcache.Insert(lineAddr<<cache.LineShift, false)
 	return acts
 }
@@ -382,23 +404,15 @@ func (e *EMC) abort(ci int, reason AbortReason, missPage uint64, now uint64) []A
 	case AbortConflict:
 		e.Stats.AbortConflict++
 	}
-	// Drop pending memory waiters belonging to this context. Each entry is
-	// filtered and stored back (or deleted) under its own key, so the final
-	// map state is identical for every iteration order.
-	//simlint:ordered
-	for line, ws := range e.pend {
-		keep := ws[:0]
-		for _, w := range ws {
-			if w.ctx != ci {
-				keep = append(keep, w)
-			}
-		}
-		if len(keep) == 0 {
-			delete(e.pend, line)
-		} else {
-			e.pend[line] = keep
+	// Drop pending memory waiters belonging to this context.
+	w := 0
+	for _, p := range e.pend {
+		if p.ctx != ci {
+			e.pend[w] = p
+			w++
 		}
 	}
+	e.pend = e.pend[:w]
 	return []Action{{Kind: ActChainAbort, Ctx: ci, Core: core, Chain: ch,
 		Reason: reason, MissPage: missPage}}
 }
@@ -616,7 +630,7 @@ func (e *EMC) issueLoad(ci, i int, now uint64) (acts []Action, aborted bool) {
 	line := cache.LineAddr(paddr)
 	ctx.state[i] = uIssued
 	ctx.memBusy++
-	e.pend[line] = append(e.pend[line], pendingMem{ctx: ci, uop: i, line: line})
+	e.pend = append(e.pend, pendingMem{ctx: ci, uop: i, line: line})
 	if e.PredictMiss(ctx.core, u.PC) {
 		e.Stats.DRAMRequests++
 		acts = append(acts, Action{Kind: ActDRAMRequest, Ctx: ci, Core: ctx.core,

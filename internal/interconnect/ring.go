@@ -54,8 +54,12 @@ type Ring struct {
 	name  string
 	stops int
 
-	nextID  uint64
-	flights []*flight
+	nextID uint64
+	// flights holds in-flight transfers by value: Tick's oldest-first
+	// arbitration walks a dense slice (no per-flight pointer chase or free
+	// list), and the backing array reaches steady-state capacity after
+	// warm-up so Send appends stop allocating.
+	flights []flight
 	inboxes [][]*Message
 	// spare double-buffers each inbox so Deliver can hand out the filled
 	// buffer and install an empty one without allocating; queued tracks the
@@ -66,10 +70,9 @@ type Ring struct {
 	// linkBusy marks links used this cycle: index = dir*stops + fromStop.
 	linkBusy []bool
 
-	// Free lists. Messages are recycled only through Recycle, so callers
-	// that hold delivered Messages (tests, diagnostics) stay safe.
-	msgPool    []*Message
-	flightPool []*flight
+	// Message free list. Messages are recycled only through Recycle, so
+	// callers that hold delivered Messages (tests, diagnostics) stay safe.
+	msgPool []*Message
 
 	Stats Stats
 }
@@ -94,30 +97,24 @@ func NewRing(name string, stops int) *Ring {
 	}
 }
 
+//simlint:noalloc bench=Ring.*
 func (r *Ring) allocMsg() *Message {
 	if n := len(r.msgPool); n > 0 {
 		m := r.msgPool[n-1]
 		r.msgPool = r.msgPool[:n-1]
 		return m
 	}
-	return &Message{}
-}
-
-func (r *Ring) allocFlight() *flight {
-	if n := len(r.flightPool); n > 0 {
-		f := r.flightPool[n-1]
-		r.flightPool = r.flightPool[:n-1]
-		return f
-	}
-	return &flight{}
+	return &Message{} //simlint:allocok cold start only; Recycle repopulates the pool, so steady state hits the free list
 }
 
 // Recycle returns a delivered Message to the ring's free list. Callers that
 // retain delivered Messages simply never call it; only recycled objects are
 // reused.
+//
+//simlint:noalloc bench=Ring.*
 func (r *Ring) Recycle(m *Message) {
 	*m = Message{}
-	r.msgPool = append(r.msgPool, m)
+	r.msgPool = append(r.msgPool, m) //simlint:allocok pool capacity stabilizes at the in-flight high-water mark
 }
 
 // Stops returns the number of ring stops.
@@ -129,6 +126,8 @@ func (r *Ring) Name() string { return r.name }
 // Send injects a message. Same-stop messages deliver immediately (the
 // paper's 1-cycle core-to-local-slice bypass is modeled by the caller's
 // pipeline latency, not the ring).
+//
+//simlint:noalloc bench=Ring.*
 func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 	r.nextID++
 	m := r.allocMsg()
@@ -137,7 +136,7 @@ func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 	if src == dst {
 		m.DeliveredAt = now
 		r.Stats.Delivered++
-		r.inboxes[dst] = append(r.inboxes[dst], m)
+		r.inboxes[dst] = append(r.inboxes[dst], m) //simlint:allocok inbox buffers double-buffer via Deliver and keep their capacity
 		r.queued++
 		return m
 	}
@@ -146,9 +145,7 @@ func (r *Ring) Send(src, dst int, payload any, now uint64) *Message {
 	if fwd > r.stops-fwd {
 		dir = -1
 	}
-	f := r.allocFlight()
-	f.msg, f.pos, f.dir = m, src, dir
-	r.flights = append(r.flights, f)
+	r.flights = append(r.flights, flight{msg: m, pos: src, dir: dir}) //simlint:allocok flights backing array reaches the in-flight high-water mark and stays there
 	return m
 }
 
@@ -162,15 +159,21 @@ func (r *Ring) Queued() int { return r.queued }
 // Tick advances every in-flight message by at most one hop. Messages are
 // serviced oldest-first, so a congested link delays younger traffic — the
 // queueing component of on-chip latency.
+//
+//simlint:noalloc bench=Ring.*
 func (r *Ring) Tick(now uint64) {
 	for i := range r.linkBusy {
 		r.linkBusy[i] = false
 	}
-	keep := r.flights[:0]
-	for _, f := range r.flights {
+	// Compact survivors in place: flights is value-typed, so blocked and
+	// still-travelling entries copy within the same backing array.
+	w := 0
+	for i := range r.flights {
+		f := r.flights[i]
 		link := r.linkIndex(f.pos, f.dir)
 		if r.linkBusy[link] {
-			keep = append(keep, f)
+			r.flights[w] = f
+			w++
 			continue
 		}
 		r.linkBusy[link] = true
@@ -180,20 +183,21 @@ func (r *Ring) Tick(now uint64) {
 			f.msg.DeliveredAt = now
 			r.Stats.TotalLatency += now - f.msg.SentAt
 			r.Stats.Delivered++
-			r.inboxes[f.pos] = append(r.inboxes[f.pos], f.msg)
+			r.inboxes[f.pos] = append(r.inboxes[f.pos], f.msg) //simlint:allocok inbox buffers double-buffer via Deliver and keep their capacity
 			r.queued++
-			f.msg = nil
-			r.flightPool = append(r.flightPool, f)
 		} else {
-			keep = append(keep, f)
+			r.flights[w] = f
+			w++
 		}
 	}
-	r.flights = keep
+	r.flights = r.flights[:w]
 }
 
 // NextEvent reports the earliest future cycle at which the ring can change
 // state: the next cycle while anything is in flight or queued at a stop, or
 // NoEvent when the ring is completely drained.
+//
+//simlint:noalloc bench=Ring.*
 func (r *Ring) NextEvent(now uint64) uint64 {
 	if len(r.flights) > 0 || r.queued > 0 {
 		return now + 1
@@ -212,6 +216,8 @@ func (r *Ring) linkIndex(from, dir int) int {
 // returned slice is valid until the next Deliver for the same stop (the two
 // underlying buffers alternate); the Messages themselves stay valid until
 // recycled.
+//
+//simlint:noalloc bench=Ring.*
 func (r *Ring) Deliver(stop int) []*Message {
 	msgs := r.inboxes[stop]
 	if len(msgs) == 0 {

@@ -205,8 +205,8 @@ func TestMSHRFile(t *testing.T) {
 	if f.AllocFails != 1 {
 		t.Errorf("allocFails = %d, want 1", f.AllocFails)
 	}
-	if got := f.Complete(10); got != m1 {
-		t.Error("complete should return the entry")
+	if got := f.Complete(10); got == nil || got.LineAddr != 10 || got.Born != 100 {
+		t.Errorf("complete returned %+v, want the line-10 entry", got)
 	}
 	if f.Lookup(10) != nil {
 		t.Error("completed entry should be gone")

@@ -108,24 +108,32 @@ type Request struct {
 	marked bool // member of the current scheduling batch
 
 	channel, rank, bank int
+	bankIdx             int32 // rank*Banks+bank, the handle into the bank arrays
 	row                 uint64
 }
 
 // Channel returns the decoded channel index (valid after enqueue).
 func (r *Request) Channel() int { return r.channel }
 
-type bank struct {
-	openRow    int64
-	readyAt    uint64
-	activateAt uint64
-}
-
+// Per-bank state is kept struct-of-arrays (DESIGN.md §13): the scheduler's
+// inner loops (issueOn, NextEvent) touch only readyAt for every queued
+// request, so giving each field its own dense slice keeps those scans inside
+// one or two cache lines instead of striding over 24-byte structs.
 type channel struct {
-	banks     []bank // ranks*banks flattened
+	// Bank arrays, ranks*banks flattened; Request.bankIdx indexes them.
+	openRow    []int64
+	readyAt    []uint64
+	activateAt []uint64
+
 	busFreeAt uint64
 	readQ     []*Request
 	writeQ    []*Request
 	draining  bool
+	// issueHintAt/issueHintGen memoize a failed issueOn scan: no request on
+	// this channel can issue before issueHintAt unless the controller state
+	// generation has moved (enqueue, issue, refresh, drain flip).
+	issueHintAt  uint64
+	issueHintGen uint64
 	// nextRefresh holds the per-rank next refresh deadline.
 	nextRefresh []uint64
 	// Activation-rate state per rank: the last activate (tRRD), a ring of
@@ -169,6 +177,17 @@ type Controller struct {
 	batchLive int   // marked requests not yet issued
 	coreRank  []int // lower = higher priority within batch
 
+	// gen counts observable state changes (enqueues, issues, refreshes,
+	// completions, drain flips). It versions the NextEvent memo and the
+	// per-channel issue hints: while gen stands still, a recomputed scan
+	// would reproduce the cached answer.
+	gen       uint64
+	nextEvGen uint64
+	nextEvAt  uint64
+	// minDoneAt lower-bounds the earliest DoneAt in inFlight, so Tick can
+	// skip the completion scan on cycles where nothing can finish.
+	minDoneAt uint64
+
 	// Free list for pooled Requests and the reused completion buffer the
 	// Tick return value aliases (consumed before the next Tick).
 	reqPool []*Request
@@ -193,18 +212,51 @@ func (c *Controller) NewRequest() *Request {
 }
 
 // Release returns a completed read Request to the free list.
+//
+//simlint:noalloc
 func (c *Controller) Release(r *Request) {
 	*r = Request{}
-	c.reqPool = append(c.reqPool, r)
+	c.reqPool = append(c.reqPool, r) //simlint:allocok pool capacity stabilizes at the in-flight high-water mark
+}
+
+// busy reports whether any request is queued or in flight. An empty
+// controller has no observable work at all: refresh epochs are deferred
+// (nobody can see bank state until the next enqueue) and every scan below
+// would come up empty, so NextEvent short-circuits to NoEvent and Tick to a
+// no-op on the same predicate.
+func (c *Controller) busy() bool {
+	if len(c.inFlight) > 0 {
+		return true
+	}
+	for i := range c.channels {
+		if len(c.channels[i].readQ) > 0 || len(c.channels[i].writeQ) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NextEvent returns a lower bound on the next cycle at which the controller
 // can change state: the next refresh deadline, the earliest bank-ready time
 // of a schedulable queued request, or the earliest read completion. It
 // returns now+1 whenever work is possible immediately, and NoEvent for a
-// fully drained controller. Skipping to (but not past) the returned cycle is
-// exact: every skipped Tick would have been a pure no-op.
+// fully drained controller — refresh epochs on an empty controller are
+// deferred, not ticked through (refresh-aware horizons, DESIGN.md §13.3),
+// and caught up lazily when the next request arrives. Skipping to (but not
+// past) the returned cycle is exact: every skipped Tick would have been a
+// pure no-op.
+//
+//simlint:noalloc
 func (c *Controller) NextEvent(now uint64) uint64 {
+	if !c.busy() {
+		return NoEvent
+	}
+	// Memo: event times are absolute, so a horizon computed at an earlier
+	// cycle under the same state generation is still the answer as long as
+	// it lies in the future.
+	if c.nextEvGen == c.gen && c.nextEvAt > now {
+		return c.nextEvAt
+	}
 	h := uint64(NoEvent)
 	// A fresh batch forms on the first Tick after the previous one drains;
 	// its membership depends on queue contents at that moment, so the tick
@@ -245,7 +297,7 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 			q = ch.writeQ
 		}
 		for _, r := range q {
-			t := ch.banks[r.rank*c.geo.Banks+r.bank].readyAt
+			t := ch.readyAt[r.bankIdx]
 			if t <= now {
 				return now + 1
 			}
@@ -264,6 +316,7 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 	if h <= now {
 		return now + 1
 	}
+	c.nextEvGen, c.nextEvAt = c.gen, h
 	return h
 }
 
@@ -273,12 +326,16 @@ func NewController(geo Geometry, t Timing, policy SchedPolicy, cores int) *Contr
 	if geo.Channels <= 0 || geo.Banks <= 0 || geo.Ranks <= 0 {
 		panic("dram: bad geometry")
 	}
-	c := &Controller{geo: geo, timing: t, policy: policy, coreRank: make([]int, cores+1)}
+	c := &Controller{geo: geo, timing: t, policy: policy, coreRank: make([]int, cores+1),
+		minDoneAt: NoEvent}
 	c.channels = make([]channel, geo.Channels)
 	for i := range c.channels {
-		c.channels[i].banks = make([]bank, geo.Ranks*geo.Banks)
-		for b := range c.channels[i].banks {
-			c.channels[i].banks[b].openRow = -1
+		nb := geo.Ranks * geo.Banks
+		c.channels[i].openRow = make([]int64, nb)
+		c.channels[i].readyAt = make([]uint64, nb)
+		c.channels[i].activateAt = make([]uint64, nb)
+		for b := 0; b < nb; b++ {
+			c.channels[i].openRow[b] = -1
 		}
 		c.channels[i].lastAct = make([]uint64, geo.Ranks)
 		c.channels[i].actRing = make([][4]uint64, geo.Ranks)
@@ -314,6 +371,7 @@ func (c *Controller) decode(r *Request) {
 	r.rank = int(la % uint64(c.geo.Ranks))
 	la /= uint64(c.geo.Ranks)
 	r.row = la
+	r.bankIdx = int32(r.rank*c.geo.Banks + r.bank)
 }
 
 // QueueOccupancy returns the total queued (not yet issued) read requests.
@@ -353,6 +411,7 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 			return false
 		}
 		ch.writeQ = append(ch.writeQ, r)
+		c.gen++
 		return true
 	}
 	if c.QueueOccupancy() >= c.geo.QueueSize {
@@ -360,6 +419,7 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 		return false
 	}
 	ch.readQ = append(ch.readQ, r)
+	c.gen++
 	return true
 }
 
@@ -369,30 +429,47 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 //
 //simlint:noalloc bench=BenchmarkController(ReadStream|Mixed)
 func (c *Controller) Tick(now uint64) []*Request {
+	// An empty controller is a guaranteed no-op: nothing can issue or
+	// complete, and due refresh epochs stay deferred (the busy/empty
+	// predicate is the same one NextEvent uses, so skip-enabled and
+	// every-cycle runs defer identically).
+	if !c.busy() {
+		return nil
+	}
 	// Batch formation: when the current batch is exhausted, mark a new one.
 	if c.policy == SchedBatch && c.batchLive == 0 {
-		c.formBatch()
+		c.formBatch() //simlint:allocok per-batch (not per-cycle) work: its maps amortize to ~0 allocs/op over the batch's cycles
 	}
 	for i := range c.channels {
 		c.refresh(&c.channels[i], now)
 		c.issueOn(&c.channels[i], now)
 	}
+	// Completion fast path: nothing in flight can be due yet.
+	if now < c.minDoneAt {
+		return nil
+	}
 	// Collect completions. The returned slice aliases a reused buffer; it is
 	// valid until the next Tick.
 	done := c.doneBuf[:0]
 	keep := c.inFlight[:0]
+	minDone := uint64(NoEvent)
 	for _, r := range c.inFlight {
 		if r.DoneAt <= now {
+			c.gen++
 			if !r.Write {
 				done = append(done, r) //simlint:allocok doneBuf reaches steady-state capacity; amortized 0 allocs/op (BenchmarkController*)
 			} else {
 				c.Release(r)
 			}
 		} else {
+			if r.DoneAt < minDone {
+				minDone = r.DoneAt
+			}
 			keep = append(keep, r) //simlint:allocok compacts in place into inFlight[:0], never exceeds its capacity
 		}
 	}
 	c.inFlight = keep
+	c.minDoneAt = minDone
 	c.doneBuf = done
 	return done
 }
@@ -402,6 +479,14 @@ func (c *Controller) Tick(now uint64) []*Request {
 // shortest job first, the PAR-BS heuristic).
 func (c *Controller) formBatch() {
 	const perCoreBank = 5
+	queued := 0
+	for i := range c.channels {
+		queued += len(c.channels[i].readQ)
+	}
+	if queued == 0 {
+		return
+	}
+	c.gen++
 	counts := make(map[int]int)
 	type key struct{ core, ch, bank int }
 	quota := make(map[key]int)
@@ -480,55 +565,90 @@ func (c *Controller) rankOf(core int) int {
 }
 
 func (c *Controller) isRowHit(ch *channel, r *Request) bool {
-	b := &ch.banks[r.rank*c.geo.Banks+r.bank]
-	return b.openRow == int64(r.row)
+	return ch.openRow[r.bankIdx] == int64(r.row)
 }
 
-// refresh performs due per-rank refreshes: every bank of the rank becomes
-// unavailable for TRFC cycles and its open row is closed.
+// refresh performs per-rank refreshes due at or before now: every bank of
+// the rank becomes unavailable for TRFC cycles (counted from the epoch's
+// deadline, not from now) and its open row is closed. Because a Tick only
+// runs this while the controller is busy, epochs that elapse on an empty
+// controller accumulate and are caught up here in deadline order the moment
+// the next request arrives — with identical final bank state, since nothing
+// could have observed the banks in between.
 func (c *Controller) refresh(ch *channel, now uint64) {
 	t := &c.timing
 	if t.TREFI == 0 {
 		return
 	}
 	for rank := range ch.nextRefresh {
-		if now < ch.nextRefresh[rank] {
-			continue
-		}
-		ch.nextRefresh[rank] += uint64(t.TREFI)
-		c.Stats.Refreshes++
-		for b := 0; b < c.geo.Banks; b++ {
-			bk := &ch.banks[rank*c.geo.Banks+b]
-			bk.openRow = -1
-			end := now + uint64(t.TRFC)
-			if bk.readyAt < end {
-				bk.readyAt = end
+		for now >= ch.nextRefresh[rank] {
+			deadline := ch.nextRefresh[rank]
+			ch.nextRefresh[rank] += uint64(t.TREFI)
+			c.Stats.Refreshes++
+			c.gen++
+			end := deadline + uint64(t.TRFC)
+			for b := rank * c.geo.Banks; b < (rank+1)*c.geo.Banks; b++ {
+				ch.openRow[b] = -1
+				if ch.readyAt[b] < end {
+					ch.readyAt[b] = end
+				}
 			}
 		}
 	}
 }
 
+// CatchUpRefresh applies every refresh epoch due at or before now on all
+// channels, regardless of queue state. Result collection calls it once at
+// the end of a run so Stats.Refreshes counts exactly the epochs that
+// elapsed over the run, matching an eager-refresh controller bit for bit.
+func (c *Controller) CatchUpRefresh(now uint64) {
+	for i := range c.channels {
+		c.refresh(&c.channels[i], now)
+	}
+}
+
 // issueOn starts at most one request on a channel this cycle.
+//
+//simlint:noalloc
 func (c *Controller) issueOn(ch *channel, now uint64) {
+	// Hint fast path: a previous scan under this state generation proved no
+	// request on this channel can issue before issueHintAt; until then the
+	// whole evaluation below (including the drain-flag refresh, which
+	// depends only on queue lengths) reproduces itself unchanged.
+	if ch.issueHintGen == c.gen && now < ch.issueHintAt {
+		return
+	}
+	// Capture the generation before the drain-flag refresh below: a flip
+	// changes next cycle's queue selection, so a hint computed under this
+	// call's (pre-flip) selection must not survive it.
+	gen := c.gen
 	// Write-drain policy: serve reads unless the write queue is pressing or
 	// there are no reads.
 	useWrites := false
 	if len(ch.writeQ) > 0 && (len(ch.readQ) == 0 || len(ch.writeQ) >= c.geo.WriteDrain || ch.draining) {
 		useWrites = true
-		ch.draining = len(ch.writeQ) > c.geo.WriteDrain/2
+		if d := len(ch.writeQ) > c.geo.WriteDrain/2; d != ch.draining {
+			ch.draining = d
+			c.gen++
+		}
 	}
 	q := ch.readQ
 	if useWrites {
 		q = ch.writeQ
 	}
 	if len(q) == 0 {
+		ch.issueHintGen, ch.issueHintAt = gen, NoEvent
 		return
 	}
 	// Pick the best issuable request.
 	bestIdx := -1
+	earliest := uint64(NoEvent)
 	for i, r := range q {
-		b := &ch.banks[r.rank*c.geo.Banks+r.bank]
-		if b.readyAt > now {
+		t := ch.readyAt[r.bankIdx]
+		if t > now {
+			if t < earliest {
+				earliest = t
+			}
 			continue
 		}
 		if bestIdx < 0 || c.better(r, q[bestIdx], ch) {
@@ -536,42 +656,45 @@ func (c *Controller) issueOn(ch *channel, now uint64) {
 		}
 	}
 	if bestIdx < 0 {
+		ch.issueHintGen, ch.issueHintAt = gen, earliest
 		return
 	}
 	r := q[bestIdx]
 	if useWrites {
-		ch.writeQ = append(q[:bestIdx], q[bestIdx+1:]...)
+		ch.writeQ = append(q[:bestIdx], q[bestIdx+1:]...) //simlint:allocok removal compaction within the queue's own backing array
 	} else {
-		ch.readQ = append(q[:bestIdx], q[bestIdx+1:]...)
+		ch.readQ = append(q[:bestIdx], q[bestIdx+1:]...) //simlint:allocok removal compaction within the queue's own backing array
 	}
 	c.start(ch, r, now)
 }
 
 // start runs the bank state machine for a request and computes its timing.
+//
+//simlint:noalloc
 func (c *Controller) start(ch *channel, r *Request, now uint64) {
 	t := &c.timing
-	b := &ch.banks[r.rank*c.geo.Banks+r.bank]
+	b := r.bankIdx
 	r.IssuedAt = now
 	var casStart uint64
 	switch {
-	case b.openRow == int64(r.row):
+	case ch.openRow[b] == int64(r.row):
 		r.RowHit = true
 		c.Stats.RowHits++
-		casStart = maxU(now, b.readyAt)
-	case b.openRow < 0:
+		casStart = maxU(now, ch.readyAt[b])
+	case ch.openRow[b] < 0:
 		c.Stats.RowEmpty++
-		actStart := c.activate(ch, r.rank, maxU(now, b.readyAt))
+		actStart := c.activate(ch, r.rank, maxU(now, ch.readyAt[b]))
 		casStart = actStart + uint64(t.TRCD)
-		b.activateAt = actStart
-		b.openRow = int64(r.row)
+		ch.activateAt[b] = actStart
+		ch.openRow[b] = int64(r.row)
 	default:
 		r.RowConflict = true
 		c.Stats.RowConflicts++
-		preStart := maxU(maxU(now, b.readyAt), b.activateAt+uint64(t.TRAS))
+		preStart := maxU(maxU(now, ch.readyAt[b]), ch.activateAt[b]+uint64(t.TRAS))
 		actStart := c.activate(ch, r.rank, preStart+uint64(t.TRP))
 		casStart = actStart + uint64(t.TRCD)
-		b.activateAt = actStart
-		b.openRow = int64(r.row)
+		ch.activateAt[b] = actStart
+		ch.openRow[b] = int64(r.row)
 		c.Stats.Precharges++
 	}
 	dataAt := casStart + uint64(t.TCAS)
@@ -581,9 +704,9 @@ func (c *Controller) start(ch *channel, r *Request, now uint64) {
 	ch.busFreeAt = dataAt + uint64(t.TBurst)
 	c.Stats.BusBusy += uint64(t.TBurst)
 	r.DoneAt = dataAt + uint64(t.TBurst)
-	b.readyAt = casStart + uint64(t.TBurst)
+	ch.readyAt[b] = casStart + uint64(t.TBurst)
 	if r.Write {
-		b.readyAt += uint64(t.TWR)
+		ch.readyAt[b] += uint64(t.TWR)
 		c.Stats.Writes++
 	} else {
 		c.Stats.Reads++
@@ -593,7 +716,11 @@ func (c *Controller) start(ch *channel, r *Request, now uint64) {
 	if r.marked {
 		c.batchLive--
 	}
-	c.inFlight = append(c.inFlight, r)
+	c.gen++
+	if r.DoneAt < c.minDoneAt {
+		c.minDoneAt = r.DoneAt
+	}
+	c.inFlight = append(c.inFlight, r) //simlint:allocok in-flight list reaches its high-water capacity and stays there
 }
 
 // activate returns the earliest legal activate time at or after earliest,

@@ -32,9 +32,14 @@ func BenchmarkStepIdle(b *testing.B) {
 		func(c *Config) { c.EMCEnabled = true })
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := sys.Now()
 	for i := 0; i < b.N; i++ {
 		sys.Step()
 	}
+	// One Step call can fast-forward many cycles, so ns/op alone overstates
+	// the cost as skip windows grow; cycles/op recovers ns per simulated
+	// cycle (= ns/op ÷ cycles/op), the number that tracks wall-clock.
+	b.ReportMetric(float64(sys.Now()-start)/float64(b.N), "cycles/op")
 	b.ReportMetric(float64(sys.SkippedCycles()), "skipped")
 }
 
@@ -49,7 +54,9 @@ func BenchmarkStepSaturated(b *testing.B) {
 		})
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := sys.Now()
 	for i := 0; i < b.N; i++ {
 		sys.Step()
 	}
+	b.ReportMetric(float64(sys.Now()-start)/float64(b.N), "cycles/op")
 }

@@ -22,8 +22,37 @@ func ckptCfg() Config {
 // mid-flight and resumed from a periodic checkpoint must produce a Result
 // bit-identical to an uninterrupted run — same hash, same cycle count —
 // after an encode/decode round trip of the checkpoint.
+//
+// The refresh-heavy variant pins the interaction the checkpoint digest is
+// most exposed to: replay-to-cycle crosses many deferred refresh epochs, so
+// a lazy catch-up that drifted from the eager schedule (or a skip horizon
+// that ignored a due refresh) would land replay on a different digest and
+// fail as ErrCheckpointDiverged.
 func TestResumeFromCheckpointDeterminism(t *testing.T) {
-	cfg := ckptCfg()
+	cases := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"emc-ghb", nil},
+		{"refresh-heavy", func(c *Config) {
+			c.Timing.TREFI = 800
+			c.Timing.TRFC = 128
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ckptCfg()
+			if tc.tweak != nil {
+				tc.tweak(&cfg)
+			}
+			resumeRoundTrip(t, cfg)
+		})
+	}
+}
+
+func resumeRoundTrip(t *testing.T, cfg Config) {
 	want, wantCycles, _ := runHashed(t, cfg)
 
 	// First run: emit checkpoints, then "crash" (cancel) after a few.

@@ -30,6 +30,17 @@ var skipWorkloads = []struct {
 			c.RunaheadEnabled = true
 			c.Prefetcher = PFStream
 		}},
+	{"mcf-x4-refresh-heavy", []string{"mcf", "mcf", "mcf", "mcf"},
+		func(c *Config) {
+			c.EMCEnabled = true
+			// TREFI cut ~30x below the DDR3 default so refresh epochs land
+			// inside nearly every window the scheduler wants to skip: the
+			// refresh-aware horizon bound and the lazy catch-up path
+			// (DESIGN.md §13.3) become load-bearing for every skip decision
+			// instead of rare events.
+			c.Timing.TREFI = 800
+			c.Timing.TRFC = 128
+		}},
 }
 
 func skipCfg(benchmarks []string, seed uint64) Config {

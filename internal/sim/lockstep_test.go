@@ -46,10 +46,38 @@ func frozenSig(s *System) string {
 // cycle (per-cycle stall counters excepted — SkipIdle credits those in bulk).
 // This localizes a missed wake-up to the exact cycle and component, where
 // TestCycleSkipDeterminism only detects that one exists.
+//
+// Two variants: the EMC+prefetcher mix (every wake-up source live), and a
+// refresh-heavy timing where due refresh epochs bound nearly every window —
+// if the refresh-aware horizon or the blocked-load fixed point ever skipped a
+// cycle that mattered, the guilty cycle is named here.
 func TestCycleSkipLockstep(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"hmix-emc-ghb", func(c *Config) {
+			c.EMCEnabled = true
+			c.Prefetcher = PFGHB
+		}},
+		{"hmix-refresh-heavy", func(c *Config) {
+			c.EMCEnabled = true
+			c.Timing.TREFI = 800
+			c.Timing.TRFC = 128
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			lockstepRun(t, tc.tweak)
+		})
+	}
+}
+
+func lockstepRun(t *testing.T, tweak func(*Config)) {
 	cfg := skipCfg([]string{"mcf", "lbm", "milc", "omnetpp"}, 1)
-	cfg.EMCEnabled = true
-	cfg.Prefetcher = PFGHB
+	tweak(&cfg)
 
 	cfgA := cfg
 	cfgA.DisableCycleSkip = false

@@ -193,6 +193,10 @@ func (s *System) collect() *Result {
 		})
 	}
 	for _, mc := range s.mcs {
+		// Refresh epochs deferred on an empty controller are applied here so
+		// Stats.Refreshes counts every epoch the run elapsed, matching an
+		// eager-refresh controller exactly.
+		mc.ctrl.CatchUpRefresh(s.now)
 		r.DRAM = append(r.DRAM, mc.ctrl.Stats)
 		r.Sys.DRAMWrites += mc.ctrl.Stats.Writes
 		if mc.emc != nil {
