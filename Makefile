@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke chaos kill-smoke clean
+.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos kill-smoke clean
 
 all: build test
 
@@ -21,11 +21,11 @@ lint:
 # and the observability end-to-end smoke.
 test: build vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/service/...
+	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/...
 	$(MAKE) trace-smoke
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/service/...
+	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/...
 
 # End-to-end observability smoke: run a tiny traced workload with the debug
 # server up, validate the Chrome trace against the schema, and scrape
@@ -38,6 +38,13 @@ trace-smoke:
 # scripts/serve_smoke.sh).
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# Observability smoke: boot emcserve with the flight recorder armed and an
+# induced oneshot panic, run a small sweep, then assert /api/v1/stats,
+# emcctl top, the flight dump (tracecheck -flight), and the span trace
+# export (see scripts/dashboard_smoke.sh).
+dashboard-smoke:
+	GO="$(GO)" sh scripts/dashboard_smoke.sh
 
 # Chaos suite: 50 seeded fault schedules through the service under the race
 # detector (failpoint injection, random cancels, durable-cache restarts with
@@ -62,14 +69,16 @@ kill-smoke:
 BENCHTIME ?= 100x
 bench:
 	$(GO) test -run xxx -bench . -benchtime=$(BENCHTIME) -count=1 \
-		./internal/sim/ ./internal/interconnect/ ./internal/mem/dram/ \
+		./internal/sim/ ./internal/interconnect/ ./internal/mem/dram/ ./internal/obs/span/ \
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json
 	$(GO) run ./cmd/benchjson -check-noalloc BENCH_sim.json
+	$(GO) run ./cmd/benchjson -trend BENCH_history.jsonl \
+		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) BENCH_sim.json
 
 experiments:
 	$(GO) run ./cmd/experiments -md results-run.md
 
 clean:
 	rm -f BENCH_sim.json results-run.md *.test *.prof
-	rm -rf .smoke .smoke-serve
+	rm -rf .smoke .smoke-serve .smoke-dash

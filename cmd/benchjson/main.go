@@ -20,6 +20,13 @@
 // the deterministic contract CI can diff across runners:
 //
 //	benchjson -diff-allocs BENCH_sim.json /tmp/BENCH_new.json
+//
+// With -trend it appends one JSON line per invocation to a history file —
+// the snapshot keyed by commit (-commit, typically `git rev-parse --short
+// HEAD` from the Makefile) and a UTC timestamp — turning repeated `make
+// bench` runs into an append-only time series CI uploads as an artifact:
+//
+//	benchjson -trend BENCH_history.jsonl -commit abc1234 BENCH_sim.json
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/analysis/hotalloc"
 )
@@ -41,6 +49,10 @@ func main() {
 		"compare allocs/op between two snapshots (baseline, fresh) and exit non-zero on any difference")
 	src := flag.String("src", ".",
 		"source tree to scan for annotations (with -check-noalloc)")
+	trend := flag.String("trend", "",
+		"append the snapshot argument as one JSON line to this history file (BENCH_history.jsonl)")
+	commit := flag.String("commit", "",
+		"commit hash recorded in the -trend entry (empty = \"unknown\")")
 	flag.Parse()
 
 	if *checkNoalloc {
@@ -58,7 +70,59 @@ func main() {
 		}
 		os.Exit(runDiffAllocs(flag.Arg(0), flag.Arg(1)))
 	}
+	if *trend != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -trend needs one snapshot argument (e.g. BENCH_sim.json)")
+			os.Exit(2)
+		}
+		os.Exit(runTrend(*trend, *commit, flag.Arg(0)))
+	}
 	convert()
+}
+
+// trendEntry is one line of the append-only bench history.
+type trendEntry struct {
+	Time       string                        `json:"time"` // RFC 3339 UTC
+	Commit     string                        `json:"commit"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// runTrend appends the snapshot as one JSON line to the history file.
+// Returns the process exit code.
+func runTrend(histFile, commit, snapFile string) int {
+	snap, err := loadSnapshot(snapFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	line, err := json.Marshal(trendEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Commit:     commit,
+		Benchmarks: snap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	f, err := os.OpenFile(histFile, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmark(s) at %s to %s\n", len(snap), commit, histFile)
+	return 0
 }
 
 // loadSnapshot reads one benchjson output file.

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 // writeTree lays down a tiny annotated source tree and a bench snapshot,
@@ -99,5 +102,50 @@ func TestDiffAllocsBadFile(t *testing.T) {
 	base := writeSnap(t, "base.json", `{"BenchmarkA": {"allocs/op": 0}}`)
 	if code := runDiffAllocs(base, filepath.Join(t.TempDir(), "missing.json")); code != 2 {
 		t.Fatalf("missing snapshot: exit %d, want 2", code)
+	}
+}
+
+func TestTrendAppends(t *testing.T) {
+	snap := writeSnap(t, "snap.json", `{"BenchmarkA": {"allocs/op": 0, "ns/op": 10}}`)
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	if code := runTrend(hist, "abc1234", snap); code != 0 {
+		t.Fatalf("first append: exit %d, want 0", code)
+	}
+	if code := runTrend(hist, "def5678", snap); code != 0 {
+		t.Fatalf("second append: exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines, want 2", len(lines))
+	}
+	wantCommits := []string{"abc1234", "def5678"}
+	for i, line := range lines {
+		var e trendEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if e.Commit != wantCommits[i] {
+			t.Errorf("line %d commit = %q, want %q", i, e.Commit, wantCommits[i])
+		}
+		if _, err := time.Parse(time.RFC3339, e.Time); err != nil {
+			t.Errorf("line %d time %q not RFC 3339: %v", i, e.Time, err)
+		}
+		if e.Benchmarks["BenchmarkA"]["allocs/op"] != 0 {
+			t.Errorf("line %d lost the benchmark payload", i)
+		}
+	}
+}
+
+func TestTrendBadSnapshot(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	if code := runTrend(hist, "abc", filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Fatalf("missing snapshot: exit %d, want 2", code)
+	}
+	if _, err := os.Stat(hist); !os.IsNotExist(err) {
+		t.Fatal("history file created despite failed load")
 	}
 }

@@ -7,6 +7,8 @@
 //	emcctl [-server URL] cancel  <job-id>
 //	emcctl [-server URL] jobs
 //	emcctl [-server URL] stats
+//	emcctl [-server URL] top [-interval 1s] [-frames N] [-plain]
+//	emcctl [-server URL] trace > trace.json   # Chrome trace of finished jobs
 //	emcctl [-server URL] metrics              # raw Prometheus text
 //
 // Requests carry a deadline (-timeout) and retry transient failures —
@@ -37,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: emcctl [flags] <submit|status|result|watch|cancel|jobs|stats|metrics> [args]")
+	fmt.Fprintln(os.Stderr, "usage: emcctl [flags] <submit|status|result|watch|cancel|jobs|stats|top|trace|metrics> [args]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -88,6 +90,10 @@ func main() {
 		c.getJSON("/api/v1/jobs")
 	case "stats":
 		c.getJSON("/api/v1/stats")
+	case "top":
+		c.top(args)
+	case "trace":
+		c.raw("/api/v1/trace")
 	case "metrics":
 		c.raw("/metrics")
 	default:

@@ -46,6 +46,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "durable result cache directory (empty = in-memory only)")
 	hungTimeout := flag.Duration("hung-timeout", 0, "mark running jobs hung after this much progress silence (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (.emfr) here on hang/panic/failure (empty = off)")
+	flightEvents := flag.Int("flight-events", 0, "per-job flight-recorder ring capacity (0 = default 256)")
+	spanRetain := flag.Int("span-retain", 0, "finished spans retained for /api/v1/trace (0 = default 4096)")
 	flag.Parse()
 
 	if err := fault.EnableFromSpec(os.Getenv("EMCSIM_FAILPOINTS")); err != nil {
@@ -55,13 +58,16 @@ func main() {
 
 	reg := obs.NewRegistry()
 	svc, err := service.Open(service.Config{
-		Workers:     *workers,
-		QueueCap:    *queueCap,
-		CacheCap:    *cacheCap,
-		MaxRetries:  *retries,
-		CacheDir:    *cacheDir,
-		HungTimeout: *hungTimeout,
-		Metrics:     reg,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		CacheCap:     *cacheCap,
+		MaxRetries:   *retries,
+		CacheDir:     *cacheDir,
+		HungTimeout:  *hungTimeout,
+		Metrics:      reg,
+		FlightDir:    *flightDir,
+		FlightEvents: *flightEvents,
+		SpanRetain:   *spanRetain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "emcserve:", err)

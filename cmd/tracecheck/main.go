@@ -6,9 +6,15 @@
 //	tracecheck trace.json
 //	tracecheck -metrics-url http://127.0.0.1:8080/metrics trace.json
 //	tracecheck -counters counters.json trace.json
+//	tracecheck -flight dump.emfr [more.emfr ...]
+//
+// -flight switches to flight-recorder mode: each argument is a CRC-framed
+// .emfr dump (internal/obs/span), decoded and semantically verified — the
+// exact-sum phase invariant, monotonic event timeline, known kinds/phases.
 //
 // Exit status is non-zero on any schema violation (missing fields, unknown
-// phases, unbalanced b/e pairs, non-monotonic timestamps within a record).
+// phases, unbalanced b/e pairs, negative timestamps, spans that end before
+// they begin, non-monotonic timestamps within a record).
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"repro/internal/obs/span"
 )
 
 type traceFile struct {
@@ -40,7 +48,21 @@ type traceEvent struct {
 func main() {
 	metricsURL := flag.String("metrics-url", "", "also fetch this /metrics endpoint and require emcsim_ gauges")
 	countersPath := flag.String("counters", "", "also validate this interval counter log (emcsim -counters output)")
+	flight := flag.Bool("flight", false, "arguments are flight-recorder dumps (.emfr), not a Chrome trace")
 	flag.Parse()
+	if *flight {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: tracecheck -flight dump.emfr [more.emfr ...]")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			if err := checkFlight(path); err != nil {
+				fmt.Fprintln(os.Stderr, "tracecheck:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics-url URL] [-counters FILE] trace.json")
 		os.Exit(2)
@@ -84,7 +106,11 @@ func checkTrace(path string) error {
 		cat string
 		id  string
 	}
-	open := map[spanKey]float64{}
+	type openSpan struct {
+		begin float64 // begin timestamp, for the end<begin duration check
+		last  float64 // latest timestamp seen, for per-span monotonicity
+	}
+	open := map[spanKey]openSpan{}
 	var spans, steps int
 	for i, ev := range tf.TraceEvents {
 		at := func(msg string, args ...any) error {
@@ -105,6 +131,9 @@ func checkTrace(path string) error {
 			if ev.Ts == nil || ev.Tid == nil || ev.ID == "" {
 				return at("async event missing ts/tid/id")
 			}
+			if *ev.Ts < 0 {
+				return at("negative timestamp %v", *ev.Ts)
+			}
 			k := spanKey{*ev.Pid, ev.Cat, ev.ID}
 			switch ev.Ph {
 			case "b":
@@ -114,17 +143,21 @@ func checkTrace(path string) error {
 				if ev.Name == "" {
 					return at("begin without name")
 				}
-				open[k] = *ev.Ts
+				open[k] = openSpan{begin: *ev.Ts, last: *ev.Ts}
 				spans++
 			case "n", "e":
-				last, ok := open[k]
+				sp, ok := open[k]
 				if !ok {
 					return at("%s without begin for id %s", ev.Ph, ev.ID)
 				}
-				if *ev.Ts < last {
-					return at("timestamp moved backwards (%v < %v)", *ev.Ts, last)
+				if ev.Ph == "e" && *ev.Ts < sp.begin {
+					return at("span has negative duration: ends at %v, began at %v", *ev.Ts, sp.begin)
 				}
-				open[k] = *ev.Ts
+				if *ev.Ts < sp.last {
+					return at("timestamp moved backwards (%v < %v)", *ev.Ts, sp.last)
+				}
+				sp.last = *ev.Ts
+				open[k] = sp
 				if ev.Ph == "e" {
 					delete(open, k)
 				} else {
@@ -143,6 +176,21 @@ func checkTrace(path string) error {
 	}
 	fmt.Printf("%s: ok (%d events, %d request spans, %d stage steps)\n",
 		path, len(tf.TraceEvents), spans, steps)
+	return nil
+}
+
+// checkFlight decodes one flight-recorder dump (CRC-framed .emfr) and runs
+// the semantic verification: exact-sum phases, monotonic event timeline.
+func checkFlight(path string) error {
+	d, err := span.ReadDumpFile(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok (job %s, reason %s, %d events, %d phases over %dns)\n",
+		path, d.JobID, d.Reason, len(d.Events), len(d.PhasesNS), d.WallNS)
 	return nil
 }
 

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/span"
+)
+
+// writeTrace writes a trace file whose traceEvents array is the given JSON
+// event objects.
+func writeTrace(t *testing.T, events ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	body := fmt.Sprintf(`{"displayTimeUnit":"ms","traceEvents":[%s]}`, strings.Join(events, ","))
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const meta = `{"name":"process_name","ph":"M","pid":1,"args":{"name":"t"}}`
+
+// TestCheckTraceRejectsNegativeDuration: a span that ends before it begins
+// must fail with a distinct error (the fix this test pins — before it, only
+// intermediate "n" steps enforced ordering).
+func TestCheckTraceRejectsNegativeDuration(t *testing.T) {
+	path := writeTrace(t, meta,
+		`{"name":"job","cat":"svc","ph":"b","ts":500,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"cat":"svc","ph":"e","ts":400,"pid":1,"tid":0,"id":"0x1"}`,
+	)
+	err := checkTrace(path)
+	if err == nil || !strings.Contains(err.Error(), "negative duration") {
+		t.Fatalf("checkTrace = %v, want negative-duration error", err)
+	}
+}
+
+// TestCheckTraceRejectsNegativeTimestamp: raw negative timestamps are
+// invalid in our exports (all times are offsets from a run base).
+func TestCheckTraceRejectsNegativeTimestamp(t *testing.T) {
+	path := writeTrace(t, meta,
+		`{"name":"job","cat":"svc","ph":"b","ts":-3,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"cat":"svc","ph":"e","ts":10,"pid":1,"tid":0,"id":"0x1"}`,
+	)
+	err := checkTrace(path)
+	if err == nil || !strings.Contains(err.Error(), "negative timestamp") {
+		t.Fatalf("checkTrace = %v, want negative-timestamp error", err)
+	}
+}
+
+// TestCheckTraceRejectsBackwardsStep: an "n" step older than the span's
+// latest timestamp still fails with the monotonicity error.
+func TestCheckTraceRejectsBackwardsStep(t *testing.T) {
+	path := writeTrace(t, meta,
+		`{"name":"job","cat":"svc","ph":"b","ts":100,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"name":"s1","cat":"svc","ph":"n","ts":300,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"name":"s2","cat":"svc","ph":"n","ts":200,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"cat":"svc","ph":"e","ts":400,"pid":1,"tid":0,"id":"0x1"}`,
+	)
+	err := checkTrace(path)
+	if err == nil || !strings.Contains(err.Error(), "moved backwards") {
+		t.Fatalf("checkTrace = %v, want moved-backwards error", err)
+	}
+}
+
+// TestCheckTraceAcceptsValid: a balanced span with in-order steps passes.
+func TestCheckTraceAcceptsValid(t *testing.T) {
+	path := writeTrace(t, meta,
+		`{"name":"job","cat":"svc","ph":"b","ts":100,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"name":"s1","cat":"svc","ph":"n","ts":200,"pid":1,"tid":0,"id":"0x1"}`,
+		`{"cat":"svc","ph":"e","ts":400,"pid":1,"tid":0,"id":"0x1"}`,
+	)
+	if err := checkTrace(path); err != nil {
+		t.Fatalf("checkTrace: %v", err)
+	}
+}
+
+// TestCheckFlight: -flight mode accepts a valid dump, rejects a corrupted
+// frame, and rejects a dump whose phases break the exact-sum invariant.
+func TestCheckFlight(t *testing.T) {
+	dir := t.TempDir()
+	good := &span.Dump{
+		JobID: "j1", Reason: "panic", State: "running", Attempts: 1,
+		SubmitAtNS: 0, AdmitAtNS: 10, DumpAtNS: 100, WallNS: 100,
+		PhasesNS: map[string]int64{"queued": 10, "running": 90},
+		Events:   []span.DumpEvent{{AtNS: 0, Kind: "submit"}, {AtNS: 10, Kind: "admit"}},
+	}
+	goodPath := filepath.Join(dir, "good.emfr")
+	if err := span.WriteDumpFile(goodPath, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFlight(goodPath); err != nil {
+		t.Fatalf("checkFlight(good): %v", err)
+	}
+
+	frame, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0x55
+	badCRC := filepath.Join(dir, "badcrc.emfr")
+	if err := os.WriteFile(badCRC, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFlight(badCRC); err == nil {
+		t.Fatal("checkFlight accepted a corrupted frame")
+	}
+
+	bad := *good
+	bad.PhasesNS = map[string]int64{"queued": 10, "running": 80} // sums to 90, not 100
+	badSum := filepath.Join(dir, "badsum.emfr")
+	if err := span.WriteDumpFile(badSum, &bad); err != nil {
+		t.Fatal(err)
+	}
+	err = checkFlight(badSum)
+	if err == nil || !strings.Contains(err.Error(), "exact-sum") {
+		t.Fatalf("checkFlight(badsum) = %v, want exact-sum error", err)
+	}
+}

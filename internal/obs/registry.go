@@ -18,8 +18,24 @@ import (
 // through the group mutex; the simulator amortizes that by publishing every
 // few thousand cycles rather than per step.
 type Registry struct {
-	mu     sync.Mutex
-	groups []*Group
+	mu         sync.Mutex
+	groups     []*Group
+	collectors []Collector
+}
+
+// Collector is a self-rendering metric source (histograms, summaries —
+// anything richer than the gauge groups). Registered collectors are
+// appended to every /metrics exposition after the gauge groups.
+// Implementations must be safe for concurrent use.
+type Collector interface {
+	WritePrometheus(w io.Writer) error
+}
+
+// AddCollector registers a collector with the exposition endpoint.
+func (r *Registry) AddCollector(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
 }
 
 // NewRegistry builds an empty registry.
@@ -112,6 +128,7 @@ func promName(name string) string {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	groups := append([]*Group(nil), r.groups...)
+	collectors := append([]Collector(nil), r.collectors...)
 	r.mu.Unlock()
 	seen := map[string]bool{}
 	for _, g := range groups {
@@ -137,6 +154,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if err != nil {
 				return err
 			}
+		}
+	}
+	for _, c := range collectors {
+		if err := c.WritePrometheus(w); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testCollector struct{ line string }
+
+func (c *testCollector) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, c.line+"\n")
+	return err
+}
+
+// TestRegistryConcurrentRegisterSnapshot races group registration,
+// publishing, collector registration, and every reader (Prometheus text,
+// expvar map, raw snapshots) against each other. Run under -race (the
+// Makefile's race target includes internal/obs); the assertion here is
+// simply that nothing tears, panics, or deadlocks and the final exposition
+// is complete.
+func TestRegistryConcurrentRegisterSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const rounds = 50
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			g := r.NewGroup(map[string]string{"run": fmt.Sprintf("w%d", i)}, []string{"a", "b"})
+			for n := 0; n < rounds; n++ {
+				g.Publish([]float64{float64(n), float64(2 * n)})
+				_ = g.Snapshot(nil)
+			}
+			r.AddCollector(&testCollector{line: fmt.Sprintf("# collector %d", i)})
+		}(i)
+	}
+	readers := 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for n := 0; n < rounds; n++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				_ = r.Vars()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for i := 0; i < writers; i++ {
+		if !strings.Contains(out, fmt.Sprintf("# collector %d", i)) {
+			t.Errorf("final exposition missing collector %d:\n%s", i, out)
+		}
+		if !strings.Contains(out, fmt.Sprintf(`run="w%d"`, i)) {
+			t.Errorf("final exposition missing group w%d", i)
+		}
+	}
+	if vars := r.Vars(); len(vars) != writers {
+		t.Errorf("Vars has %d groups, want %d", len(vars), writers)
+	}
+}
+
+// TestRegistryCollectorOrdering: collectors render after every gauge group,
+// so the TYPE headers of the groups never interleave with collector output.
+func TestRegistryCollectorOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.AddCollector(&testCollector{line: "collector_metric 1"})
+	g := r.NewGroup(nil, []string{"x"})
+	g.Publish([]float64{42})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	gi := strings.Index(out, "emcsim_x 42")
+	ci := strings.Index(out, "collector_metric 1")
+	if gi < 0 || ci < 0 || ci < gi {
+		t.Fatalf("collector output must follow gauge groups:\n%s", out)
+	}
+}

@@ -1,0 +1,16 @@
+package span
+
+import "testing"
+
+// BenchmarkSpanRecord measures the flight-recorder hot path: one ring event
+// per call, zero allocations in steady state. The //simlint:noalloc
+// annotation on Ring.Record points here; benchjson -check-noalloc audits the
+// measured allocs/op against it.
+func BenchmarkSpanRecord(b *testing.B) {
+	r := NewRing(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(int64(i), EvProgress, uint64(i), uint64(i*2))
+	}
+}

@@ -1,0 +1,126 @@
+package span
+
+import (
+	"sync"
+	"time"
+)
+
+// Options sizes a Recorder.
+type Options struct {
+	// RingEvents is the per-job flight-recorder capacity (default 256).
+	RingEvents int
+	// Retain bounds the finished spans kept for the Chrome export and the
+	// /api/v1/trace endpoint (default 4096; oldest dropped beyond it).
+	Retain int
+}
+
+// Recorder owns the service's span pipeline: the monotonic time base every
+// event is stamped against, the pool of flight-recorder rings, the bounded
+// retention of finished spans, and (optionally) the phase histograms fed on
+// every finish.
+type Recorder struct {
+	base       time.Time
+	ringEvents int
+	retain     int
+
+	mu      sync.Mutex
+	pool    []*Ring
+	done    []Span
+	dropped uint64
+	hist    *PhaseHist // nil when metrics are off
+}
+
+// NewRecorder builds a recorder; the zero Options take defaults.
+func NewRecorder(opts Options) *Recorder {
+	if opts.RingEvents <= 0 {
+		opts.RingEvents = 256
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = 4096
+	}
+	return &Recorder{base: time.Now(), ringEvents: opts.RingEvents, retain: opts.Retain}
+}
+
+// SetHist attaches the phase histograms fed by FinishSpan (call before any
+// job finishes; typically right after NewRecorder).
+func (r *Recorder) SetHist(h *PhaseHist) { r.hist = h }
+
+// Hist returns the attached phase histograms (nil when metrics are off).
+func (r *Recorder) Hist() *PhaseHist { return r.hist }
+
+// Now returns nanoseconds since the recorder's base. time.Since reads the
+// monotonic clock, so readings never go backwards and phase arithmetic on
+// them is exact.
+func (r *Recorder) Now() int64 { return int64(time.Since(r.base)) }
+
+// Base returns the wall-clock anchor of the monotonic timeline (exporters
+// use it to place spans in absolute time).
+func (r *Recorder) Base() time.Time { return r.base }
+
+// AcquireRing hands out a pooled flight-recorder ring.
+func (r *Recorder) AcquireRing() *Ring {
+	r.mu.Lock()
+	if n := len(r.pool); n > 0 {
+		rg := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		r.mu.Unlock()
+		return rg
+	}
+	r.mu.Unlock()
+	return NewRing(r.ringEvents)
+}
+
+// FinishSpan retains a finished job's span, feeds the phase histograms, and
+// recycles its ring. The span's phase boundaries must be final.
+func (r *Recorder) FinishSpan(sp Span, ring *Ring) {
+	phases := sp.Phases()
+	if r.hist != nil {
+		for p := Phase(0); p < NumPhases; p++ {
+			if phases[p] > 0 || activePhase(sp, p) {
+				r.hist.Observe(p, sp.Shard, Seconds(phases[p]))
+			}
+		}
+	}
+	r.mu.Lock()
+	if len(r.done) >= r.retain {
+		// Drop the oldest half in one move so retention is amortized O(1).
+		half := len(r.done) / 2
+		r.dropped += uint64(half)
+		r.done = append(r.done[:0], r.done[half:]...)
+	}
+	r.done = append(r.done, sp)
+	if ring != nil {
+		ring.reset()
+		r.pool = append(r.pool, ring)
+	}
+	r.mu.Unlock()
+}
+
+// activePhase reports whether p is a phase this span actually went through
+// (so zero-duration traversals still count in the histograms: a cache hit
+// is a meaningful 0-second sample, a phase the job skipped is not).
+func activePhase(sp Span, p Phase) bool {
+	switch p {
+	case PhaseCacheHit:
+		return sp.Cached
+	case PhaseQueued:
+		return !sp.Cached
+	case PhaseRunning:
+		return !sp.Cached && sp.AdmitAt != NoAdmit
+	}
+	return false
+}
+
+// Spans returns a copy of the retained finished spans, in finish order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.done...)
+}
+
+// Dropped returns how many finished spans were evicted by the retention cap.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

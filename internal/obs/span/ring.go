@@ -1,0 +1,63 @@
+package span
+
+// Ring is one job's flight recorder: a fixed-capacity circular buffer of
+// recent lifecycle events. The scheduler records into it on every
+// transition and progress heartbeat; when a job hangs, panics, or is
+// aborted by a failpoint the ring is snapshotted into a Dump — the last N
+// events explain where the job's wall clock went.
+//
+// Rings are pooled by the Recorder (acquire on submit, release on finish),
+// so steady-state recording allocates nothing. Access is externally
+// synchronized: the owning Job's mutex guards every call, matching the
+// simulator's one-owner pooling rules.
+type Ring struct {
+	ev []Event
+	n  uint64 // total events ever recorded; ev[(n-1)%cap] is the newest
+}
+
+// NewRing builds a ring holding the last capacity events (min 8).
+func NewRing(capacity int) *Ring {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Ring{ev: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest past capacity. This is
+// the pipeline's hot path (every progress heartbeat of every running job
+// lands here) and must stay allocation-free.
+//
+//simlint:noalloc bench=SpanRecord
+func (r *Ring) Record(at int64, k Kind, arg, arg2 uint64) {
+	r.ev[int(r.n)%len(r.ev)] = Event{At: at, Kind: k, Arg: arg, Arg2: arg2}
+	r.n++
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Ring) Len() int {
+	if r.n < uint64(len(r.ev)) {
+		return int(r.n)
+	}
+	return len(r.ev)
+}
+
+// Truncated returns how many events were overwritten by ring wrap.
+func (r *Ring) Truncated() uint64 {
+	if r.n <= uint64(len(r.ev)) {
+		return 0
+	}
+	return r.n - uint64(len(r.ev))
+}
+
+// Events appends the held events to dst, oldest first, and returns it.
+func (r *Ring) Events(dst []Event) []Event {
+	held := r.Len()
+	start := int(r.n) - held
+	for i := 0; i < held; i++ {
+		dst = append(dst, r.ev[(start+i)%len(r.ev)])
+	}
+	return dst
+}
+
+// reset clears the ring for reuse (pool recycling).
+func (r *Ring) reset() { r.n = 0 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -68,7 +69,9 @@ func (r *JobRequest) Config() (sim.Config, error) {
 //	GET  /api/v1/jobs/{id}/result    finished job's report JSON
 //	GET  /api/v1/jobs/{id}/progress  NDJSON Status stream until terminal
 //	POST /api/v1/jobs/{id}/cancel    request cancellation
-//	GET  /api/v1/stats               service counters
+//	GET  /api/v1/stats               service counters (incl. per-shard)
+//	GET  /api/v1/stats/stream        NDJSON StatsFrame stream (emcctl top)
+//	GET  /api/v1/trace               Chrome trace_event JSON of finished spans
 //	GET  /metrics                    Prometheus text (reg, when non-nil)
 //	GET  /healthz                    liveness
 func NewHandler(s *Service, reg *obs.Registry) http.Handler {
@@ -82,6 +85,8 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /api/v1/stats/stream", s.handleStatsStream)
+	mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -190,6 +195,88 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.requestCancel()
 	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// StatsFrame is one sample of the live-dashboard NDJSON stream: the service
+// counters (with per-shard breakdown) plus every non-terminal job's Status.
+// emcctl top renders these.
+type StatsFrame struct {
+	Time   time.Time `json:"time"`
+	Stats  Stats     `json:"stats"`
+	Active []Status  `json:"active,omitempty"`
+}
+
+// activeStatuses snapshots every non-terminal job's Status.
+func (s *Service) activeStatuses() []Status {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	var out []Status
+	for _, j := range jobs {
+		if st := j.Status(); !st.State.Terminal() {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// handleStatsStream streams StatsFrame NDJSON until the client disconnects.
+// ?poll=MS sets the sampling period (default 1000 ms); ?frames=N stops after
+// N frames (smoke tests, emcctl top -frames).
+func (s *Service) handleStatsStream(w http.ResponseWriter, r *http.Request) {
+	poll := time.Second
+	if v := r.URL.Query().Get("poll"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			poll = time.Duration(ms) * time.Millisecond
+		}
+	}
+	frames := 0 // 0 = unbounded
+	if v := r.URL.Query().Get("frames"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			frames = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for sent := 0; ; {
+		frame := StatsFrame{Time: time.Now(), Stats: s.Stats(), Active: s.activeStatuses()}
+		if enc.Encode(frame) != nil {
+			return // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent++
+		if frames > 0 && sent >= frames {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// handleTrace exports the retained finished spans as Chrome trace_event
+// JSON (load in chrome://tracing or Perfetto; merge with a sim trace —
+// service spans sit at pids ≥ span.ChromePidBase). 409 until a job finishes:
+// an empty traceEvents array fails tracecheck, so we refuse to emit one.
+func (s *Service) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	spans := s.rec.Spans()
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusConflict, apiError{Error: "no finished spans yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="service-trace.json"`)
+	if err := span.WriteChrome(w, "emcserve", spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // handleProgress streams the job's Status as NDJSON (one object per line,

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,18 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 
+	// Span pipeline (see internal/obs/span and DESIGN.md §14): every
+	// lifecycle transition and progress heartbeat is recorded into the
+	// pooled flight-recorder ring; the phase boundaries below feed the
+	// exact-sum wall-clock attribution when the job finishes.
+	rec       *span.Recorder
+	ring      *span.Ring
+	submitAt  int64 // ns on the recorder's monotonic base
+	admitAt   int64 // span.NoAdmit until a worker pops the job
+	finishAt  int64 // recorder ns at finalize (0 while live)
+	hungEver  bool  // watchdog flagged the job at least once
+	coalesced uint64
+
 	done chan struct{}
 }
 
@@ -87,12 +100,44 @@ type Status struct {
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
 }
 
-func newJob(id, key, client string, shard int, cacheable bool, cfg sim.Config) *Job {
-	return &Job{
+func newJob(id, key, client string, shard int, cacheable bool, cfg sim.Config, rec *span.Recorder) *Job {
+	j := &Job{
 		id: id, key: key, client: client, shard: shard, cacheable: cacheable,
 		cfg: cfg, state: StateQueued, submitted: time.Now(),
-		done: make(chan struct{}),
+		admitAt: span.NoAdmit,
+		done:    make(chan struct{}),
 	}
+	if rec != nil {
+		j.rec = rec
+		j.ring = rec.AcquireRing()
+		j.submitAt = rec.Now()
+		j.ring.Record(j.submitAt, span.EvSubmit, uint64(shard), 0)
+	}
+	return j
+}
+
+// record stamps one lifecycle event into the job's flight ring. Callers hold
+// j.mu; the ring is nil before the recorder attaches and after finalize
+// recycled it, so late callbacks (a racing setProgress) are safe no-ops.
+func (j *Job) record(k span.Kind, arg, arg2 uint64) {
+	if j.ring != nil {
+		j.ring.Record(j.rec.Now(), k, arg, arg2)
+	}
+}
+
+// recordCoalesce notes a duplicate submission riding on this job.
+func (j *Job) recordCoalesce() {
+	j.mu.Lock()
+	j.coalesced++
+	j.record(span.EvCoalesce, j.coalesced, 0)
+	j.mu.Unlock()
+}
+
+// recordRetry notes a panicked attempt that will be retried.
+func (j *Job) recordRetry() {
+	j.mu.Lock()
+	j.record(span.EvRetry, uint64(j.attempts), 0)
+	j.mu.Unlock()
 }
 
 // ID returns the job's identifier.
@@ -159,6 +204,7 @@ func (j *Job) setProgress(p sim.Progress) {
 	j.mu.Lock()
 	j.progress = p
 	j.lastBeat = time.Now()
+	j.record(span.EvProgress, p.Cycles, p.Retired)
 	j.mu.Unlock()
 }
 
@@ -174,6 +220,14 @@ func (j *Job) hungCheck(now time.Time, timeout time.Duration) (hung, changed boo
 		j.hung = false
 	} else {
 		j.hung = now.Sub(j.lastBeat) > timeout
+	}
+	if j.hung != was {
+		if j.hung {
+			j.hungEver = true
+			j.record(span.EvHung, uint64(j.attempts), 0)
+		} else {
+			j.record(span.EvHungClear, 0, 0)
+		}
 	}
 	return j.hung, j.hung != was
 }
@@ -210,6 +264,12 @@ func (j *Job) beginRunning() bool {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	if j.rec != nil {
+		j.admitAt = j.rec.Now()
+		if j.ring != nil {
+			j.ring.Record(j.admitAt, span.EvAdmit, uint64(j.shard), 0)
+		}
+	}
 	return true
 }
 
@@ -219,6 +279,7 @@ func (j *Job) beginAttempt() {
 	j.mu.Lock()
 	j.attempts++
 	j.lastBeat = time.Now()
+	j.record(span.EvAttempt, uint64(j.attempts), 0)
 	j.mu.Unlock()
 }
 
@@ -258,5 +319,82 @@ func (j *Job) finalize(state State, res *sim.Result, err error) {
 			j.progress.IPC = float64(j.progress.Retired) / float64(res.Cycles)
 		}
 	}
+	if j.rec != nil {
+		// Close out the span: stamp the terminal event, hand the span to the
+		// recorder (retention + phase histograms), recycle the ring. The
+		// finish timestamp taken here is the span's exact-sum upper bound.
+		if j.cached {
+			j.record(span.EvCacheHit, 0, 0)
+		}
+		j.finishAt = j.rec.Now()
+		term := span.EvCancelled
+		switch state {
+		case StateDone:
+			term = span.EvDone
+		case StateFailed:
+			term = span.EvFailed
+		}
+		if j.ring != nil {
+			j.ring.Record(j.finishAt, term, uint64(j.attempts), 0)
+		}
+		ring := j.ring
+		j.ring = nil
+		j.rec.FinishSpan(span.Span{
+			JobID: j.id, Client: j.client, Shard: j.shard,
+			Outcome: string(state), Cached: j.cached, Hung: j.hungEver,
+			Attempts: j.attempts, Coalesced: j.coalesced,
+			SubmitAt: j.submitAt, AdmitAt: j.admitAt, FinishAt: j.finishAt,
+		}, ring)
+	}
 	close(j.done)
+}
+
+// buildDump snapshots the job for a flight-recorder dump (reason is one of
+// "hung", "panic", "failed"). The phase decomposition uses the dump instant
+// as the end bound for live jobs, so the dump's PhasesNS exact-sums to its
+// WallNS the same way a finished span's phases sum to its total.
+func (j *Job) buildDump(reason string) *span.Dump {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rec == nil {
+		return nil
+	}
+	now := j.rec.Now()
+	end := now
+	if j.state.Terminal() {
+		end = j.finishAt
+	}
+	j.record(span.EvDump, 0, 0)
+	sp := span.Span{SubmitAt: j.submitAt, AdmitAt: j.admitAt, FinishAt: end, Cached: j.cached}
+	d := &span.Dump{
+		JobID: j.id, Key: j.key, Client: j.client, Shard: j.shard,
+		Reason: reason, State: string(j.state), Cached: j.cached,
+		Attempts:   j.attempts,
+		SubmitAtNS: j.submitAt, AdmitAtNS: j.admitAt, DumpAtNS: now,
+		WallNS:   sp.Total(),
+		PhasesNS: map[string]int64{},
+		Cycles:   j.progress.Cycles, Retired: j.progress.Retired,
+		TargetInstrs: j.progress.TargetInstrs, IPC: j.progress.IPC,
+	}
+	if j.state.Terminal() {
+		d.FinishAtNS = end
+	}
+	phases := sp.Phases()
+	for p := span.Phase(0); p < span.NumPhases; p++ {
+		if phases[p] != 0 {
+			d.PhasesNS[p.String()] = phases[p]
+		}
+	}
+	if j.ring != nil {
+		evs := j.ring.Events(nil)
+		d.Events = make([]span.DumpEvent, len(evs))
+		for i, ev := range evs {
+			d.Events[i] = span.DumpEvent{AtNS: ev.At, Kind: ev.Kind.String(), Arg: ev.Arg, Arg2: ev.Arg2}
+		}
+		d.TruncatedEvents = j.ring.Truncated()
+	}
+	if j.err != nil {
+		d.Error = j.err.Error()
+	}
+	return d
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func qjob(id, client string) *Job {
-	return newJob(id, "k-"+id, client, 0, true, sim.Config{})
+	return newJob(id, "k-"+id, client, 0, true, sim.Config{}, nil)
 }
 
 // TestFairQueueRoundRobin: FIFO per client, round-robin across clients — a

@@ -5,14 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -89,8 +93,21 @@ type Config struct {
 	// Detection only — the job is not killed.
 	HungTimeout time.Duration
 	// Metrics, when non-nil, receives the service gauge group (queue depth,
-	// workers, cache hits, ...) for /metrics export.
+	// workers, cache hits, ...) and the per-phase latency histograms for
+	// /metrics export.
 	Metrics *obs.Registry
+	// FlightDir, when non-empty, enables flight-recorder dumps: when the
+	// watchdog flags a job, a worker attempt panics (including injected
+	// failpoints), or a job fails terminally, the job's recent span events
+	// and exact-sum phase attribution are written to
+	// <FlightDir>/<job>-<reason>-<n>.emfr (see internal/obs/span.Dump).
+	// Hung-job dumps additionally capture a goroutine profile alongside.
+	FlightDir string
+	// FlightEvents sizes each job's flight-recorder ring (default 256).
+	FlightEvents int
+	// SpanRetain bounds the finished spans retained for the Chrome trace
+	// export (default 4096, oldest dropped beyond it).
+	SpanRetain int
 }
 
 // serviceGauges lists every gauge the service publishes, in publish order.
@@ -115,6 +132,9 @@ var serviceGauges = []string{
 	"service_cache_quarantined",
 	"service_cache_persisted",
 	"service_cache_persist_errors",
+	"service_flight_dumps",
+	"service_flight_dump_errors",
+	"service_spans_dropped",
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -145,6 +165,24 @@ type Stats struct {
 	CacheQuarantined uint64 `json:"cacheQuarantined"`
 	CachePersisted   uint64 `json:"cachePersisted"`
 	CachePersistErrs uint64 `json:"cachePersistErrors"`
+
+	// Flight-recorder counters; zero when Config.FlightDir is unset.
+	FlightDumps    uint64 `json:"flightDumps"`
+	FlightDumpErrs uint64 `json:"flightDumpErrors"`
+	// SpansDropped counts finished spans evicted by the retention cap.
+	SpansDropped uint64 `json:"spansDropped"`
+
+	// Shards is the per-shard breakdown (queue depth, running, hung) behind
+	// the aggregate numbers above — the emcctl top dashboard's row source.
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// ShardStat is one worker shard's live state.
+type ShardStat struct {
+	Shard   int `json:"shard"`
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Hung    int `json:"hung"`
 }
 
 // Service is the simulation-job scheduler: a sharded worker pool over
@@ -170,6 +208,15 @@ type Service struct {
 	retries        atomic.Uint64
 	retryExhausted atomic.Uint64
 	hung           atomic.Int64
+
+	// Span pipeline: always-on recorder; per-shard gauges sized at Open so
+	// Stats never scans the job table; flight-dump counters.
+	rec            *span.Recorder
+	shardRunning   []atomic.Int64
+	shardHung      []atomic.Int64
+	dumpSeq        atomic.Uint64
+	flightDumps    atomic.Uint64
+	flightDumpErrs atomic.Uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -220,12 +267,15 @@ func Open(cfg Config) (*Service, error) {
 		}
 	}
 	s := &Service{
-		cfg:       cfg,
-		cache:     newResultCache(cfg.CacheCap, store),
-		store:     store,
-		jobs:      map[string]*Job{},
-		inflight:  map[string]*Job{},
-		watchStop: make(chan struct{}),
+		cfg:          cfg,
+		cache:        newResultCache(cfg.CacheCap, store),
+		store:        store,
+		jobs:         map[string]*Job{},
+		inflight:     map[string]*Job{},
+		watchStop:    make(chan struct{}),
+		rec:          span.NewRecorder(span.Options{RingEvents: cfg.FlightEvents, Retain: cfg.SpanRetain}),
+		shardRunning: make([]atomic.Int64, cfg.Workers),
+		shardHung:    make([]atomic.Int64, cfg.Workers),
 	}
 	if store != nil {
 		if err := store.load(s.cache.seed); err != nil {
@@ -233,8 +283,19 @@ func Open(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.FlightDir != "" {
+		if err := os.MkdirAll(cfg.FlightDir, 0o755); err != nil {
+			if store != nil {
+				store.close()
+			}
+			return nil, err
+		}
+	}
 	if cfg.Metrics != nil {
 		s.group = cfg.Metrics.NewGroup(map[string]string{"component": "service"}, serviceGauges)
+		hist := span.NewPhaseHist(cfg.Workers)
+		s.rec.SetHist(hist)
+		cfg.Metrics.AddCollector(hist)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.queues = append(s.queues, newFairQueue())
@@ -304,7 +365,7 @@ func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
 	}
 	if cacheable {
 		if res, ok := s.cache.get(key); ok {
-			j := newJob(id, key, client, shardOf(key, len(s.queues)), true, cfg)
+			j := newJob(id, key, client, shardOf(key, len(s.queues)), true, cfg, s.rec)
 			j.cached = true
 			s.jobs[id] = j
 			s.order = append(s.order, j)
@@ -318,6 +379,7 @@ func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
 		if prev, ok := s.inflight[key]; ok {
 			s.coalesced.Add(1)
 			s.mu.Unlock()
+			prev.recordCoalesce()
 			s.publish()
 			return prev, nil
 		}
@@ -334,7 +396,7 @@ func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
 		}
 	}
 	shard := shardOf(key, len(s.queues))
-	j := newJob(id, key, client, shard, cacheable, cfg)
+	j := newJob(id, key, client, shard, cacheable, cfg, s.rec)
 	s.jobs[id] = j
 	s.order = append(s.order, j)
 	if cacheable {
@@ -422,8 +484,23 @@ func (s *Service) Stats() Stats {
 		st.CachePersisted = s.store.persisted.Load()
 		st.CachePersistErrs = s.store.persistErrs.Load()
 	}
+	st.FlightDumps = s.flightDumps.Load()
+	st.FlightDumpErrs = s.flightDumpErrs.Load()
+	st.SpansDropped = s.rec.Dropped()
+	st.Shards = make([]ShardStat, len(s.queues))
+	for i := range s.queues {
+		st.Shards[i] = ShardStat{
+			Shard:   i,
+			Queued:  s.queues[i].len(),
+			Running: int(s.shardRunning[i].Load()),
+			Hung:    int(s.shardHung[i].Load()),
+		}
+	}
 	return st
 }
+
+// Recorder exposes the span pipeline (the HTTP trace export reads it).
+func (s *Service) Recorder() *span.Recorder { return s.rec }
 
 // publish pushes the current counters into the metrics group.
 func (s *Service) publish() {
@@ -451,6 +528,9 @@ func (s *Service) publish() {
 		float64(st.CacheQuarantined),
 		float64(st.CachePersisted),
 		float64(st.CachePersistErrs),
+		float64(st.FlightDumps),
+		float64(st.FlightDumpErrs),
+		float64(st.SpansDropped),
 	})
 }
 
@@ -542,17 +622,59 @@ func (s *Service) scanHung(now time.Time) {
 	jobs := append([]*Job(nil), s.order...)
 	s.mu.Unlock()
 	var hung int64
+	perShard := make([]int64, len(s.queues))
 	changed := false
 	for _, j := range jobs {
 		h, ch := j.hungCheck(now, s.cfg.HungTimeout)
 		if h {
 			hung++
+			perShard[j.shard]++
 		}
 		changed = changed || ch
+		if h && ch {
+			// Verdict just flipped to hung: dump the flight recorder with a
+			// goroutine profile, so the stalled stack is captured the moment
+			// the watchdog fires rather than when someone attaches later.
+			s.dumpFlight(j, "hung", nil)
+		}
 	}
 	s.hung.Store(hung)
+	for i := range perShard {
+		s.shardHung[i].Store(perShard[i])
+	}
 	if changed {
 		s.publish()
+	}
+}
+
+// dumpFlight writes one flight-recorder dump for j (best effort: failures
+// are counted, never fatal, and nothing is written without Config.FlightDir).
+// Hung dumps get a goroutine profile sibling file (<dump>.goroutines.txt).
+func (s *Service) dumpFlight(j *Job, reason string, cause error) {
+	if s.cfg.FlightDir == "" {
+		return
+	}
+	d := j.buildDump(reason)
+	if d == nil {
+		return
+	}
+	if d.Error == "" && cause != nil {
+		d.Error = cause.Error()
+	}
+	name := fmt.Sprintf("%s-%s-%d%s", j.id, reason, s.dumpSeq.Add(1), span.DumpExt)
+	path := filepath.Join(s.cfg.FlightDir, name)
+	if err := span.WriteDumpFile(path, d); err != nil {
+		s.flightDumpErrs.Add(1)
+		return
+	}
+	s.flightDumps.Add(1)
+	if reason == "hung" {
+		if f, err := os.Create(path + span.GoroutinesExt); err == nil {
+			if p := pprof.Lookup("goroutine"); p != nil {
+				_ = p.WriteTo(f, 2)
+			}
+			f.Close()
+		}
 	}
 }
 
@@ -579,7 +701,11 @@ func (s *Service) execute(j *Job) {
 		return
 	}
 	s.running.Add(1)
-	defer s.running.Add(-1)
+	s.shardRunning[j.shard].Add(1)
+	defer func() {
+		s.running.Add(-1)
+		s.shardRunning[j.shard].Add(-1)
+	}()
 	for attempt := 1; ; attempt++ {
 		res, err := s.runOnce(j)
 		switch {
@@ -595,14 +721,23 @@ func (s *Service) execute(j *Job) {
 		default:
 			var pe *panicError
 			if errors.As(err, &pe) {
+				// Snapshot the flight recorder before the retry decision: the
+				// ring still holds the attempt's final heartbeats either way.
+				s.dumpFlight(j, "panic", err)
 				if attempt <= s.cfg.MaxRetries && !j.cancelRequested() {
 					s.retries.Add(1)
+					j.recordRetry()
 					continue
 				}
 				// Budget spent: fail with a structured error that keeps the
 				// final panic's text reachable via errors.Is/As and %v.
 				s.retryExhausted.Add(1)
 				err = fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt, err)
+			}
+			if pe == nil {
+				// Ordinary failures get a dump too (panics were dumped above);
+				// must happen before finalize recycles the ring.
+				s.dumpFlight(j, "failed", err)
 			}
 			s.finishJob(j, StateFailed, nil, err)
 			return
