@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos kill-smoke clean
+.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos chaos-cluster kill-smoke cluster-smoke clean
 
 all: build test
 
@@ -52,12 +52,26 @@ dashboard-smoke:
 chaos:
 	EMCSIM_CHAOS_SCHEDULES=50 $(GO) test -race -run TestChaosSchedules -count=1 ./internal/service/
 
+# Multi-node chaos: 25 seeded fault schedules through a 3-node fabric under
+# the race detector (forwarding/replication/steal failpoints, a network
+# partition window, node kills mid-sweep). Deterministic per seed; see
+# internal/cluster/chaos_cluster_test.go.
+chaos-cluster:
+	EMCSIM_CHAOS_SCHEDULES=25 $(GO) test -race -run TestClusterChaosSchedules -count=1 ./internal/cluster/
+
 # Crash-recovery smoke: boot emcserve with a durable cache, compute a
 # result, SIGKILL the server mid-sweep, restart it over the same directory,
 # and verify the resubmitted job is served from the durable cache with a
 # byte-identical result (see scripts/kill_smoke.sh).
 kill-smoke:
 	GO="$(GO)" sh scripts/kill_smoke.sh
+
+# Sweep-fabric smoke: boot three real emcserve nodes (-node-id/-join), run
+# the same sweep through different entry nodes, SIGKILL one node mid-sweep,
+# and verify every job completes with byte-identical results on the
+# survivors (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster_smoke.sh
 
 # Microbenchmark snapshot: every benchmark in the simulator core,
 # interconnect, and DRAM packages, captured as JSON so a later session (or
@@ -73,7 +87,7 @@ bench:
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo wrote BENCH_sim.json
 	$(GO) run ./cmd/benchjson -check-noalloc BENCH_sim.json
-	$(GO) run ./cmd/benchjson -trend BENCH_history.jsonl \
+	$(GO) run ./cmd/benchjson -trend BENCH_history.jsonl -trend-keep 200 \
 		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) BENCH_sim.json
 
 experiments:
@@ -81,4 +95,4 @@ experiments:
 
 clean:
 	rm -f BENCH_sim.json results-run.md *.test *.prof
-	rm -rf .smoke .smoke-serve .smoke-dash
+	rm -rf .smoke .smoke-serve .smoke-dash .smoke-kill .smoke-cluster

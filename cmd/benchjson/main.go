@@ -27,6 +27,10 @@
 // bench` runs into an append-only time series CI uploads as an artifact:
 //
 //	benchjson -trend BENCH_history.jsonl -commit abc1234 BENCH_sim.json
+//
+// -trend-keep N caps the history: after appending, the file is rotated
+// down to its newest N entries (atomic temp-file + rename), so the series
+// never grows without bound.
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 		"append the snapshot argument as one JSON line to this history file (BENCH_history.jsonl)")
 	commit := flag.String("commit", "",
 		"commit hash recorded in the -trend entry (empty = \"unknown\")")
+	trendKeep := flag.Int("trend-keep", 0,
+		"rotate the -trend history down to its last N entries after appending (0 = unbounded)")
 	flag.Parse()
 
 	if *checkNoalloc {
@@ -75,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -trend needs one snapshot argument (e.g. BENCH_sim.json)")
 			os.Exit(2)
 		}
-		os.Exit(runTrend(*trend, *commit, flag.Arg(0)))
+		os.Exit(runTrend(*trend, *commit, flag.Arg(0), *trendKeep))
 	}
 	convert()
 }
@@ -87,9 +93,10 @@ type trendEntry struct {
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
-// runTrend appends the snapshot as one JSON line to the history file.
+// runTrend appends the snapshot as one JSON line to the history file, then
+// rotates the file down to its newest `keep` entries when a cap is set.
 // Returns the process exit code.
-func runTrend(histFile, commit, snapFile string) int {
+func runTrend(histFile, commit, snapFile string, keep int) int {
 	snap, err := loadSnapshot(snapFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -121,8 +128,43 @@ func runTrend(histFile, commit, snapFile string) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	if keep > 0 {
+		dropped, err := rotateTrend(histFile, keep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: rotated %s: dropped %d oldest entries (keeping %d)\n",
+				histFile, dropped, keep)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d benchmark(s) at %s to %s\n", len(snap), commit, histFile)
 	return 0
+}
+
+// rotateTrend truncates the history to its last `keep` lines, atomically
+// (write a sibling temp file, then rename over) so a crash mid-rotation
+// never loses the history. Returns how many lines were dropped.
+func rotateTrend(histFile string, keep int) (int, error) {
+	raw, err := os.ReadFile(histFile)
+	if err != nil {
+		return 0, err
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) <= keep {
+		return 0, nil
+	}
+	kept := lines[len(lines)-keep:]
+	tmp := histFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, histFile); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return 0, err
+	}
+	return len(lines) - keep, nil
 }
 
 // loadSnapshot reads one benchjson output file.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,10 +109,10 @@ func TestDiffAllocsBadFile(t *testing.T) {
 func TestTrendAppends(t *testing.T) {
 	snap := writeSnap(t, "snap.json", `{"BenchmarkA": {"allocs/op": 0, "ns/op": 10}}`)
 	hist := filepath.Join(t.TempDir(), "hist.jsonl")
-	if code := runTrend(hist, "abc1234", snap); code != 0 {
+	if code := runTrend(hist, "abc1234", snap, 0); code != 0 {
 		t.Fatalf("first append: exit %d, want 0", code)
 	}
-	if code := runTrend(hist, "def5678", snap); code != 0 {
+	if code := runTrend(hist, "def5678", snap, 0); code != 0 {
 		t.Fatalf("second append: exit %d, want 0", code)
 	}
 	raw, err := os.ReadFile(hist)
@@ -142,10 +143,56 @@ func TestTrendAppends(t *testing.T) {
 
 func TestTrendBadSnapshot(t *testing.T) {
 	hist := filepath.Join(t.TempDir(), "hist.jsonl")
-	if code := runTrend(hist, "abc", filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+	if code := runTrend(hist, "abc", filepath.Join(t.TempDir(), "missing.json"), 0); code != 2 {
 		t.Fatalf("missing snapshot: exit %d, want 2", code)
 	}
 	if _, err := os.Stat(hist); !os.IsNotExist(err) {
 		t.Fatal("history file created despite failed load")
+	}
+}
+
+func TestTrendKeepRotates(t *testing.T) {
+	snap := writeSnap(t, "snap.json", `{"BenchmarkA": {"allocs/op": 0}}`)
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	// Seven appends with a cap of 3: only the newest three commits survive.
+	for i := 0; i < 7; i++ {
+		if code := runTrend(hist, fmt.Sprintf("c%d", i), snap, 3); code != 0 {
+			t.Fatalf("append %d: exit %d, want 0", i, code)
+		}
+	}
+	raw, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rotated history has %d lines, want 3:\n%s", len(lines), raw)
+	}
+	for i, want := range []string{"c4", "c5", "c6"} {
+		var e trendEntry
+		if err := json.Unmarshal([]byte(lines[i]), &e); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if e.Commit != want {
+			t.Errorf("line %d commit = %q, want %q", i, e.Commit, want)
+		}
+	}
+	// No rotation leftovers.
+	if _, err := os.Stat(hist + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("rotation temp file left behind")
+	}
+	// Under the cap nothing is dropped.
+	hist2 := filepath.Join(t.TempDir(), "hist2.jsonl")
+	for i := 0; i < 2; i++ {
+		if code := runTrend(hist2, fmt.Sprintf("c%d", i), snap, 3); code != 0 {
+			t.Fatalf("append %d: exit %d, want 0", i, code)
+		}
+	}
+	raw2, err := os.ReadFile(hist2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(raw2)), "\n")); got != 2 {
+		t.Fatalf("uncapped history has %d lines, want 2", got)
 	}
 }

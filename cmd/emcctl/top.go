@@ -17,8 +17,12 @@ import (
 // top is the live sweep dashboard: it consumes the server's NDJSON stats
 // stream (/api/v1/stats/stream) and redraws a terminal view per frame —
 // per-shard queue depth, running jobs with phase and ETA, cache hit and
-// coalesce rates, and the watchdog verdict. -plain appends frames instead of
-// clearing the screen (logs, CI); -frames bounds the session (smoke tests).
+// coalesce rates, per-node fabric rows in cluster mode, and the watchdog
+// verdict. A dropped stream (server restart, network blip) reconnects with
+// the client's jittered backoff, resuming with the remaining frame budget;
+// only c.retries consecutive failures give up. -plain appends frames
+// instead of clearing the screen (logs, CI); -frames bounds the session
+// (smoke tests).
 func (c *client) top(args []string) {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	interval := fs.Duration("interval", time.Second, "refresh period")
@@ -26,11 +30,13 @@ func (c *client) top(args []string) {
 	plain := fs.Bool("plain", false, "append frames instead of clearing the screen")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	path := fmt.Sprintf("/api/v1/stats/stream?poll=%d", interval.Milliseconds())
-	if *frames > 0 {
-		path += fmt.Sprintf("&frames=%d", *frames)
-	}
-	for attempt := 0; ; attempt++ {
+	remaining := *frames
+	attempt := 0 // consecutive failures; any successful frame resets it
+	for {
+		path := fmt.Sprintf("/api/v1/stats/stream?poll=%d", interval.Milliseconds())
+		if *frames > 0 {
+			path += fmt.Sprintf("&frames=%d", remaining)
+		}
 		// Like watch: the stream must not carry the client-wide deadline.
 		resp, err := (&http.Client{}).Get(c.base + path)
 		if err != nil {
@@ -39,9 +45,9 @@ func (c *client) top(args []string) {
 				os.Exit(3)
 			}
 			c.backoff(attempt)
+			attempt++
 			continue
 		}
-		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			fatalStatus(resp)
 		}
@@ -57,12 +63,27 @@ func (c *client) top(args []string) {
 				fmt.Fprintln(os.Stderr, "emcctl: bad stats frame:", err)
 				continue
 			}
+			attempt = 0 // healthy stream: reset the failure budget
+			if *frames > 0 {
+				remaining--
+			}
 			if !*plain {
 				fmt.Print("\x1b[H\x1b[2J") // home + clear
 			}
 			fmt.Print(renderTop(&f, et))
 		}
-		return
+		resp.Body.Close()
+		if *frames > 0 && remaining <= 0 {
+			return // frame budget spent: a normal end of session
+		}
+		// The stream dropped mid-session: reconnect with backoff, same
+		// policy as the initial dial.
+		if attempt >= c.retries {
+			fmt.Fprintf(os.Stderr, "emcctl: stats stream dropped and %d reconnects failed\n", attempt)
+			os.Exit(3)
+		}
+		c.backoff(attempt)
+		attempt++
 	}
 }
 
@@ -116,6 +137,25 @@ func renderTop(f *service.StatsFrame, et *etaTracker) string {
 		fmt.Fprintf(&b, "\n%-6s %7s %8s %5s\n", "SHARD", "QUEUED", "RUNNING", "HUNG")
 		for _, sh := range st.Shards {
 			fmt.Fprintf(&b, "%-6d %7d %8d %5d\n", sh.Shard, sh.Queued, sh.Running, sh.Hung)
+		}
+	}
+
+	if len(st.Nodes) > 0 {
+		fmt.Fprintf(&b, "\n%-10s %-6s %7s %8s %5s %6s %9s %6s %6s %8s\n",
+			"NODE", "STATE", "QUEUED", "RUNNING", "HUNG", "FWD", "STOLEN", "REPL", "TORN", "BEAT")
+		for i := range st.Nodes {
+			nd := &st.Nodes[i]
+			beat := "-" // the self row has no heartbeat to age
+			if nd.State != "self" {
+				if nd.HeartbeatAgeMS < 0 {
+					beat = "never"
+				} else {
+					beat = fmt.Sprintf("%dms", nd.HeartbeatAgeMS)
+				}
+			}
+			fmt.Fprintf(&b, "%-10s %-6s %7d %8d %5d %6d %9s %6d %6d %8s\n",
+				nd.Node, nd.State, nd.Queued, nd.Running, nd.Hung, nd.Forwarded,
+				fmt.Sprintf("%d/%d", nd.StolenIn, nd.StolenOut), nd.Replicated, nd.ReplTorn, beat)
 		}
 	}
 

@@ -18,6 +18,19 @@
 //
 // Fault injection: EMCSIM_FAILPOINTS="site=policy;..." arms failpoints at
 // boot (see internal/fault for the site catalog and policy grammar).
+//
+// Cluster mode (-node-id) turns the process into one node of a sweep
+// fabric (see internal/cluster and DESIGN.md §15): submissions to any node
+// route to the key's consistent-hash owner, results replicate across the
+// fabric as durable EMCR records, and idle nodes steal queued work:
+//
+//	emcserve -addr 127.0.0.1:8081 -node-id a
+//	emcserve -addr 127.0.0.1:8082 -node-id b -join http://127.0.0.1:8081
+//	emcserve -addr 127.0.0.1:8083 -node-id c -join http://127.0.0.1:8081
+//
+// Membership is either bootstrapped from a running member (-join URL) or
+// declared statically (-peers id=url,id=url). -advertise overrides the URL
+// peers use to reach this node (defaults to http://<addr>).
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -49,6 +63,13 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (.emfr) here on hang/panic/failure (empty = off)")
 	flightEvents := flag.Int("flight-events", 0, "per-job flight-recorder ring capacity (0 = default 256)")
 	spanRetain := flag.Int("span-retain", 0, "finished spans retained for /api/v1/trace (0 = default 4096)")
+	nodeID := flag.String("node-id", "", "cluster node id (empty = single-process mode)")
+	advertise := flag.String("advertise", "", "base URL peers use to reach this node (default http://<addr>)")
+	join := flag.String("join", "", "bootstrap membership from this member URL (comma-separated URLs tried in order)")
+	peers := flag.String("peers", "", "static membership as id=url,id=url (alternative to -join)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+	suspect := flag.Duration("suspect-after", 0, "mark peers dead after this much heartbeat silence (0 = 4x heartbeat)")
+	stealThreshold := flag.Int("steal-threshold", 2, "peer queue depth that makes an idle node steal work")
 	flag.Parse()
 
 	if err := fault.EnableFromSpec(os.Getenv("EMCSIM_FAILPOINTS")); err != nil {
@@ -84,7 +105,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emcserve:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: service.NewHandler(svc, reg)}
+
+	// Cluster mode: wrap the service in a fabric node and swap in the
+	// cluster handler (which routes client submits and adds the inter-node
+	// endpoints). Single-process mode is byte-for-byte the old server.
+	handler := service.NewHandler(svc, reg)
+	var node *cluster.Node
+	if *nodeID != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		node = cluster.New(svc, cluster.Options{
+			ID:                *nodeID,
+			Addr:              adv,
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspect,
+			StealThreshold:    *stealThreshold,
+		})
+		tr := cluster.NewHTTPTransport(node.MemberAddr)
+		node.SetTransport(tr)
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(p, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "emcserve: bad -peers entry %q (want id=url)\n", p)
+				os.Exit(1)
+			}
+			node.AddMember(cluster.Member{ID: id, Addr: url})
+		}
+		self := cluster.Member{ID: *nodeID, Addr: adv}
+		for _, u := range strings.Split(*join, ",") {
+			if u = strings.TrimSpace(u); u == "" {
+				continue
+			}
+			joinCtx, joinCancel := context.WithTimeout(context.Background(), 10*time.Second)
+			members, err := tr.JoinAddr(joinCtx, u, self)
+			joinCancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "emcserve: join %s: %v\n", u, err)
+				continue
+			}
+			for _, m := range members {
+				node.AddMember(m)
+			}
+		}
+		node.Start()
+		fmt.Printf("emcserve: cluster node %s advertising %s (%d members known)\n",
+			*nodeID, adv, len(node.Members()))
+		handler = cluster.NewHandler(node, reg)
+	}
+
+	srv := &http.Server{Handler: handler}
 	// The bound address line is parsed by scripts (make serve-smoke); keep
 	// its shape stable.
 	fmt.Printf("emcserve listening on http://%s\n", ln.Addr())
@@ -109,6 +183,9 @@ func main() {
 		fmt.Println("emcserve: second signal: cancelling running jobs")
 		cancel()
 	}()
+	if node != nil {
+		node.Close() // stop fabric loops before the scheduler drains
+	}
 	if err := svc.Drain(ctx); err != nil {
 		svc.Close()
 	}

@@ -23,6 +23,14 @@
 // callee is reviewed-safe or genuinely cold. Propagation does not recurse
 // past the first un-annotated hop — deeper hot paths must be annotated link
 // by link so the contract stays visible in the source.
+//
+// Method-value expressions (`f := r.step` — the method bound to its
+// receiver, not called) are treated like function literals: the bound pair
+// allocates a closure when it escapes, so the expression itself is flagged,
+// and the noalloc obligation propagates through it exactly as through a
+// direct call — if the bound method is un-annotated, declared in the same
+// package, and allocates, that is reported too (the value exists to be
+// invoked from the hot path later).
 package hotalloc
 
 import (
@@ -188,6 +196,35 @@ func (st *state) calleeFirstAlloc(fn *ast.FuncDecl) string {
 	return first
 }
 
+// checkMethodValue flags a bound method-value expression (`r.step` used as
+// a value): the receiver/method pair allocates a closure, same as a
+// function literal. When propagate is true the noalloc obligation also
+// travels through the binding — an un-annotated same-package method that
+// allocates is reported here, because the only reason to bind it in a hot
+// path is to invoke it there.
+func (st *state) checkMethodValue(report reportFn, sel *ast.SelectorExpr, caller string, propagate bool) {
+	s, ok := st.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	report(sel.Pos(), "method value %s allocates a closure in noalloc function %s", sel.Sel.Name, caller)
+	if !propagate {
+		return
+	}
+	fnObj, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	decl, ok := st.decls[fnObj]
+	if !ok || st.annotated[decl] {
+		return
+	}
+	if msg := st.calleeFirstAlloc(decl); msg != "" {
+		report(sel.Pos(), "method value binds un-annotated %s, which allocates (%s); annotate it %s or suppress this binding",
+			fnObj.Name(), msg, Directive)
+	}
+}
+
 // inspect walks fn's body applying the construct checks through report. When
 // propagate is true, same-package un-annotated callees are additionally
 // scanned one level deep.
@@ -195,12 +232,22 @@ func (st *state) inspect(fn *ast.FuncDecl, report reportFn, propagate bool) {
 	pass := st.pass
 	results := fn.Type.Results
 
+	// calleeFuns marks selector/ident expressions that are a call's Fun —
+	// those are invocations, not method values. Parents are visited before
+	// children, so the mark lands before the selector itself is inspected.
+	calleeFuns := map[ast.Expr]bool{}
+
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
+			calleeFuns[ast.Unparen(n.Fun)] = true
 			checkCall(pass, report, n)
 			if propagate {
 				st.checkCallee(report, n)
+			}
+		case *ast.SelectorExpr:
+			if !calleeFuns[n] {
+				st.checkMethodValue(report, n, fn.Name.Name, propagate)
 			}
 		case *ast.FuncLit:
 			report(n.Pos(), "function literal allocates a closure in noalloc function %s", fn.Name.Name)

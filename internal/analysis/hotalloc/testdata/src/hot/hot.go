@@ -149,6 +149,40 @@ func oneLevelOnly(r *Ring) {
 	callersOfCallers(r)
 }
 
+// stepAllocs is an un-annotated method that allocates: binding it as a
+// method value from a noalloc function must flag both the closure and the
+// propagated obligation.
+func (r *Ring) stepAllocs() {
+	r.buf = append(r.buf, 1)
+}
+
+// stepClean is un-annotated and allocation-free: binding it still costs the
+// closure, but nothing propagates.
+func (r *Ring) stepClean() int { return r.head }
+
+//simlint:noalloc
+func methodValues(r *Ring) func() {
+	g := r.stepClean // want `method value stepClean allocates a closure in noalloc function methodValues`
+	_ = g
+	return r.stepAllocs // want `method value stepAllocs allocates a closure in noalloc function methodValues` `method value binds un-annotated stepAllocs, which allocates \(append may grow`
+}
+
+// Binding an annotated method: the closure is still flagged, but the callee
+// carries its own noalloc obligation so nothing propagates.
+//
+//simlint:noalloc
+func bindAnnotated(r *Ring) func(uint64) bool {
+	return r.push // want `method value push allocates a closure in noalloc function bindAnnotated`
+}
+
+//simlint:noalloc
+func methodValueSuppressed(r *Ring) func() {
+	return r.stepAllocs //simlint:allocok cold callback registration, reviewed
+}
+
+// Calling through the selector is NOT a method value: r.push(...) in the
+// fixtures above must keep producing only call-path diagnostics.
+
 // badGrammar has a malformed directive argument.
 //
 //simlint:noalloc bucket=BenchmarkX

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// NewHandler wraps the service HTTP API with the fabric protocol. Client
+// submissions (POST /api/v1/jobs) route through the node — so any node
+// accepts any submission and forwards it to the key's owner — and the
+// inter-node endpoints live under /api/v1/cluster/:
+//
+//	POST /api/v1/cluster/submit     forwarded job intake (SubmitRequest)
+//	GET  /api/v1/cluster/record     ?key= -> durable EMCR frame bytes
+//	POST /api/v1/cluster/replicate  durable EMCR frame body
+//	GET  /api/v1/cluster/ping       Health JSON
+//	POST /api/v1/cluster/steal      one StolenJob JSON, or 204 when declined
+//	POST /api/v1/cluster/join       Member JSON -> member list JSON
+//	GET  /api/v1/cluster/members    member list JSON
+//
+// Everything else (status, results, stats, trace, metrics) falls through to
+// the wrapped service handler unchanged.
+func NewHandler(n *Node, reg *obs.Registry) http.Handler {
+	inner := service.NewHandler(n.Service(), reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", inner)
+	mux.HandleFunc("POST /api/v1/jobs", n.httpSubmit)
+	mux.HandleFunc("POST /api/v1/cluster/submit", n.httpClusterSubmit)
+	mux.HandleFunc("GET /api/v1/cluster/record", n.httpRecord)
+	mux.HandleFunc("POST /api/v1/cluster/replicate", n.httpReplicate)
+	mux.HandleFunc("GET /api/v1/cluster/ping", n.httpPing)
+	mux.HandleFunc("POST /api/v1/cluster/steal", n.httpSteal)
+	mux.HandleFunc("POST /api/v1/cluster/join", n.httpJoin)
+	mux.HandleFunc("GET /api/v1/cluster/members", func(w http.ResponseWriter, _ *http.Request) {
+		httpJSON(w, http.StatusOK, n.Members())
+	})
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func httpJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure here
+}
+
+// submitStatus maps a submission outcome onto the same status codes the
+// single-process submit endpoint uses, so emcctl works against a fabric
+// node unchanged.
+func submitStatus(w http.ResponseWriter, st service.Status, err error) {
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		httpJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+	case errors.Is(err, service.ErrDraining):
+		httpJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case err != nil:
+		httpJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	case st.State.Terminal():
+		httpJSON(w, http.StatusOK, st) // cache hit: already done
+	default:
+		httpJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// httpSubmit is the client-facing submit, routed cluster-wide.
+func (n *Node) httpSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	j, err := n.Submit(req.Client, cfg)
+	if err != nil {
+		submitStatus(w, service.Status{}, err)
+		return
+	}
+	submitStatus(w, j.Status(), nil)
+}
+
+// httpClusterSubmit is the owner-side intake for forwarded jobs.
+func (n *Node) httpClusterSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, err := n.HandleSubmit(req)
+	if err != nil && !errors.Is(err, service.ErrQueueFull) && !errors.Is(err, service.ErrDraining) {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	submitStatus(w, st, err)
+}
+
+func (n *Node) httpRecord(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	frame, err := n.HandleFetch(key)
+	switch {
+	case errors.Is(err, ErrNoRecord):
+		httpJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+	case err != nil:
+		httpJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(frame) //nolint:errcheck // client gone is the only failure here
+	}
+}
+
+func (n *Node) httpReplicate(w http.ResponseWriter, r *http.Request) {
+	frame, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	if err := n.HandleReplicate(frame); err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	httpJSON(w, http.StatusOK, struct{}{})
+}
+
+func (n *Node) httpPing(w http.ResponseWriter, _ *http.Request) {
+	httpJSON(w, http.StatusOK, n.HandlePing())
+}
+
+func (n *Node) httpSteal(w http.ResponseWriter, _ *http.Request) {
+	sj, err := n.HandleSteal()
+	switch {
+	case err != nil:
+		httpJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	case sj == nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpJSON(w, http.StatusOK, sj)
+	}
+}
+
+func (n *Node) httpJoin(w http.ResponseWriter, r *http.Request) {
+	var mem Member
+	if err := json.NewDecoder(r.Body).Decode(&mem); err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	httpJSON(w, http.StatusOK, n.HandleJoin(mem))
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport (the dialing side).
+
+// HTTPTransport speaks the fabric protocol between emcserve processes. Node
+// ids resolve to advertised base URLs through the membership table (the
+// node's MemberAddr method).
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; NewHTTPTransport sets a
+	// 10-second timeout so a dead TCP peer fails fast enough for the
+	// heartbeat sweep.
+	Client *http.Client
+	// Resolve maps a node id to its advertised base URL.
+	Resolve func(node string) (string, bool)
+}
+
+// NewHTTPTransport builds the transport with resolve as its address book.
+func NewHTTPTransport(resolve func(node string) (string, bool)) *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{Timeout: 10 * time.Second}, Resolve: resolve}
+}
+
+func (t *HTTPTransport) base(node string) (string, error) {
+	addr, ok := t.Resolve(node)
+	if !ok || addr == "" {
+		return "", ErrUnreachable
+	}
+	return strings.TrimSuffix(addr, "/"), nil
+}
+
+// do performs one fabric request, classifying the response: 2xx decodes
+// into out (when non-nil), 429 is ErrBusy, 503 and transport failures are
+// ErrUnreachable, everything else is a permanent error carrying the body.
+func (t *HTTPTransport) do(ctx context.Context, method, url, contentType string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return 0, ErrUnreachable
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, ErrUnreachable
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return resp.StatusCode, ErrBusy
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return resp.StatusCode, ErrUnreachable
+	case resp.StatusCode >= 400:
+		var apiErr httpError
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return resp.StatusCode, fmt.Errorf("cluster: %s: %s", url, apiErr.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("cluster: %s: HTTP %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if b, ok := out.(*[]byte); ok {
+			*b = data
+			return resp.StatusCode, nil
+		}
+		if len(data) == 0 {
+			return resp.StatusCode, nil // 204 and friends
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("cluster: %s: bad response: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (t *HTTPTransport) Submit(ctx context.Context, node string, req SubmitRequest) (service.Status, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return service.Status{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return service.Status{}, err
+	}
+	var st service.Status
+	if _, err := t.do(ctx, http.MethodPost, base+"/api/v1/cluster/submit", "application/json", body, &st); err != nil {
+		return service.Status{}, err
+	}
+	return st, nil
+}
+
+func (t *HTTPTransport) Status(ctx context.Context, node, jobID string) (service.Status, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return service.Status{}, err
+	}
+	var st service.Status
+	if _, err := t.do(ctx, http.MethodGet, base+"/api/v1/jobs/"+url.PathEscape(jobID), "", nil, &st); err != nil {
+		return service.Status{}, err
+	}
+	return st, nil
+}
+
+func (t *HTTPTransport) Cancel(ctx context.Context, node, jobID string) error {
+	base, err := t.base(node)
+	if err != nil {
+		return err
+	}
+	_, err = t.do(ctx, http.MethodPost, base+"/api/v1/jobs/"+url.PathEscape(jobID)+"/cancel", "", nil, nil)
+	return err
+}
+
+func (t *HTTPTransport) Fetch(ctx context.Context, node, key string) ([]byte, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return nil, err
+	}
+	var frame []byte
+	code, err := t.do(ctx, http.MethodGet, base+"/api/v1/cluster/record?key="+url.QueryEscape(key), "", nil, &frame)
+	if code == http.StatusNotFound {
+		return nil, ErrNoRecord
+	}
+	if err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (t *HTTPTransport) Replicate(ctx context.Context, node string, frame []byte) error {
+	base, err := t.base(node)
+	if err != nil {
+		return err
+	}
+	_, err = t.do(ctx, http.MethodPost, base+"/api/v1/cluster/replicate", "application/octet-stream", frame, nil)
+	return err
+}
+
+func (t *HTTPTransport) Ping(ctx context.Context, node string) (Health, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	if _, err := t.do(ctx, http.MethodGet, base+"/api/v1/cluster/ping", "", nil, &h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}
+
+func (t *HTTPTransport) Steal(ctx context.Context, node string) (*StolenJob, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return nil, err
+	}
+	var sj StolenJob
+	code, err := t.do(ctx, http.MethodPost, base+"/api/v1/cluster/steal", "", nil, &sj)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent || sj.Key == "" {
+		return nil, nil
+	}
+	return &sj, nil
+}
+
+func (t *HTTPTransport) Join(ctx context.Context, node string, mem Member) ([]Member, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return nil, err
+	}
+	return t.JoinAddr(ctx, base, mem)
+}
+
+// JoinAddr announces mem to the fabric member at baseURL directly — the
+// bootstrap path, used before the target's node id is known (-join flag).
+func (t *HTTPTransport) JoinAddr(ctx context.Context, baseURL string, mem Member) ([]Member, error) {
+	body, err := json.Marshal(mem)
+	if err != nil {
+		return nil, err
+	}
+	var members []Member
+	if _, err := t.do(ctx, http.MethodPost, strings.TrimSuffix(baseURL, "/")+"/api/v1/cluster/join", "application/json", body, &members); err != nil {
+		return nil, err
+	}
+	return members, nil
+}

@@ -1,0 +1,272 @@
+// HTTP fabric end-to-end: three real HTTP servers (the same wiring
+// cmd/emcserve uses), bootstrap via the join endpoint, client submissions
+// through POST /api/v1/jobs on a non-owner, and byte-identical result
+// bodies regardless of which node served the request.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// httpNode is one emcserve-shaped process: listener, service, node, server.
+type httpNode struct {
+	node *cluster.Node
+	url  string
+}
+
+func startHTTPNode(t *testing.T, id string) *httpNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	svc, err := service.Open(service.Config{Workers: 2, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cluster.New(svc, cluster.Options{
+		ID:                id,
+		Addr:              url,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      60 * time.Millisecond,
+		PollInterval:      2 * time.Millisecond,
+	})
+	n.SetTransport(cluster.NewHTTPTransport(n.MemberAddr))
+	srv := &http.Server{Handler: cluster.NewHandler(n, nil)}
+	go srv.Serve(ln) //nolint:errcheck // closed by cleanup
+	t.Cleanup(func() {
+		n.Close()
+		svc.Close()
+		srv.Close()
+	})
+	return &httpNode{node: n, url: url}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("GET %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPFabricEndToEnd(t *testing.T) {
+	fault.DisableAll()
+	a := startHTTPNode(t, "a")
+	b := startHTTPNode(t, "b")
+	c := startHTTPNode(t, "c")
+
+	// Bootstrap: b and c join through a, like emcserve -join does.
+	tr := cluster.NewHTTPTransport(func(string) (string, bool) { return "", false })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, n := range []*httpNode{b, c} {
+		members, err := tr.JoinAddr(ctx, a.url, cluster.Member{ID: n.node.ID(), Addr: n.url})
+		if err != nil {
+			t.Fatalf("join %s via a: %v", n.node.ID(), err)
+		}
+		for _, m := range members {
+			n.node.AddMember(m)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range []*httpNode{a, b, c} {
+		for len(n.node.Members()) < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("membership never converged on %s: %+v", n.node.ID(), n.node.Members())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Find a request whose key is owned by c, so a and b both must route.
+	ring := cluster.NewRing(0)
+	ring.Add("a")
+	ring.Add("b")
+	ring.Add("c")
+	var seed uint64
+	for s := uint64(1); s < 4096; s++ {
+		cfg := tinyCfg(s)
+		key, _ := service.CacheKey(&cfg)
+		if ring.Owner(key, nil) == "c" {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no c-owned seed")
+	}
+	ref := runTiny(t, tinyCfg(seed)).Hash()
+
+	submit := func(base string) string {
+		body, _ := json.Marshal(map[string]any{
+			"client":       "e2e",
+			"benchmarks":   []string{"mcf", "sphinx3", "soplex", "libquantum"},
+			"instrPerCore": 1000,
+			"seed":         seed,
+		})
+		resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST %s/api/v1/jobs: %d %s", base, resp.StatusCode, data)
+		}
+		var st service.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.ID
+	}
+
+	// Same fingerprint submitted to two different nodes, neither the owner.
+	idA := submit(a.url)
+	idB := submit(b.url)
+
+	waitDone := func(base, id string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			var st service.Status
+			getJSON(t, fmt.Sprintf("%s/api/v1/jobs/%s", base, id), &st)
+			if st.State.Terminal() {
+				if st.State != service.StateDone {
+					t.Fatalf("job %s on %s ended %s: %s", id, base, st.State, st.Error)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s on %s never finished", id, base)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitDone(a.url, idA)
+	waitDone(b.url, idB)
+
+	// Byte-identical result bodies from both entry nodes.
+	fetch := func(base, id string) []byte {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/result", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET result on %s: %d %s", base, resp.StatusCode, data)
+		}
+		return data
+	}
+	resA, resB := fetch(a.url, idA), fetch(b.url, idB)
+	if !bytes.Equal(resA, resB) {
+		t.Fatal("result bytes differ between entry nodes")
+	}
+
+	// Exactly one execution fabric-wide, and it happened on the owner.
+	var executed uint64
+	for _, n := range []*httpNode{a, b, c} {
+		executed += n.node.Service().Stats().Executed
+	}
+	if executed != 1 {
+		t.Fatalf("%d executions across the HTTP fabric, want 1", executed)
+	}
+	if got := c.node.Service().Stats().Executed; got != 1 {
+		t.Fatalf("owner executed %d, want 1", got)
+	}
+	if res, ok := c.node.Service().PeekResult(func() string {
+		cfg := tinyCfg(seed)
+		k, _ := service.CacheKey(&cfg)
+		return k
+	}()); !ok || res.Hash() != ref {
+		t.Fatal("owner cache missing or wrong reference result")
+	}
+
+	// The per-node stats rows crossed the HTTP boundary too.
+	var st service.Stats
+	getJSON(t, a.url+"/api/v1/stats", &st)
+	if len(st.Nodes) != 3 || st.Nodes[0].State != "self" {
+		t.Fatalf("stats rows wrong over HTTP: %+v", st.Nodes)
+	}
+	if st.Nodes[0].Forwarded == 0 {
+		t.Fatalf("entry node self row shows no forwards: %+v", st.Nodes[0])
+	}
+}
+
+// TestHTTPTransportErrorClassification: the HTTP status codes map back to
+// the three transport buckets.
+func TestHTTPTransportErrorClassification(t *testing.T) {
+	fault.DisableAll()
+	a := startHTTPNode(t, "a")
+	tr := cluster.NewHTTPTransport(func(id string) (string, bool) {
+		if id == "a" {
+			return a.url, true
+		}
+		if id == "gone" {
+			return "http://127.0.0.1:1", true // nothing listens here
+		}
+		return "", false
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := tr.Ping(ctx, "a"); err != nil {
+		t.Fatalf("ping a live node: %v", err)
+	}
+	if _, err := tr.Ping(ctx, "gone"); err != cluster.ErrUnreachable {
+		t.Fatalf("dead endpoint classified %v, want ErrUnreachable", err)
+	}
+	if _, err := tr.Ping(ctx, "unknown"); err != cluster.ErrUnreachable {
+		t.Fatalf("unresolvable node classified %v, want ErrUnreachable", err)
+	}
+	if _, err := tr.Fetch(ctx, "a", "no-such-key"); err != cluster.ErrNoRecord {
+		t.Fatalf("missing record classified %v, want ErrNoRecord", err)
+	}
+	// A steal against an idle node declines with (nil, nil) over 204.
+	sj, err := tr.Steal(ctx, "a")
+	if err != nil || sj != nil {
+		t.Fatalf("idle steal = (%v, %v), want (nil, nil)", sj, err)
+	}
+	// A corrupt replica is a permanent, non-retryable error.
+	cfg := tinyCfg(1)
+	key, _ := service.CacheKey(&cfg)
+	frame, err := service.EncodeRecord(key, runTiny(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0xFF
+	err = tr.Replicate(ctx, "a", frame)
+	if err == nil || err == cluster.ErrUnreachable || err == cluster.ErrBusy {
+		t.Fatalf("torn replica classified %v, want permanent error", err)
+	}
+	if c := a.node.Counters(); c.ReplTorn != 1 {
+		t.Fatalf("torn counter %d, want 1", c.ReplTorn)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// LocalTransport wires N in-process nodes together by direct method calls,
+// with kill and partition switches so tests and the chaos suite can model
+// node failures without processes. Kills and partitions are symmetric: a
+// down node neither receives nor emits, a cut pair is cut both ways.
+type LocalTransport struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+	cut   map[[2]string]bool
+}
+
+// NewLocalTransport builds an empty in-process switchboard.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{nodes: map[string]*Node{}, down: map[string]bool{}, cut: map[[2]string]bool{}}
+}
+
+// Attach registers n and installs its per-node connection (the transport
+// must know the caller to apply partitions).
+func (lt *LocalTransport) Attach(n *Node) {
+	lt.mu.Lock()
+	lt.nodes[n.ID()] = n
+	lt.mu.Unlock()
+	n.SetTransport(&localConn{lt: lt, from: n.ID()})
+}
+
+// Kill makes id unreachable in both directions (the node-kill model: the
+// process is gone; callers should also Close the node's service).
+func (lt *LocalTransport) Kill(id string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.down[id] = true
+}
+
+// Revive undoes Kill.
+func (lt *LocalTransport) Revive(id string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	delete(lt.down, id)
+}
+
+// Partition cuts the pair a↔b in both directions.
+func (lt *LocalTransport) Partition(a, b string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.cut[pairKey(a, b)] = true
+}
+
+// Heal undoes Partition for the pair.
+func (lt *LocalTransport) Heal(a, b string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	delete(lt.cut, pairKey(a, b))
+}
+
+// HealAll clears every partition (not kills).
+func (lt *LocalTransport) HealAll() {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.cut = map[[2]string]bool{}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// reach resolves the target node if the path from→to is up.
+func (lt *LocalTransport) reach(from, to string) (*Node, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.down[from] || lt.down[to] || lt.cut[pairKey(from, to)] {
+		return nil, ErrUnreachable
+	}
+	n, ok := lt.nodes[to]
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return n, nil
+}
+
+// localConn is one node's view of the switchboard.
+type localConn struct {
+	lt   *LocalTransport
+	from string
+}
+
+// mapLocalErr converts receiver-side service errors into transport-level
+// classifications (what an HTTP status code would have carried).
+func mapLocalErr(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case service.ErrQueueFull:
+		return ErrBusy
+	case service.ErrDraining:
+		return ErrUnreachable
+	default:
+		return err
+	}
+}
+
+func (c *localConn) Submit(ctx context.Context, node string, req SubmitRequest) (service.Status, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return service.Status{}, err
+	}
+	st, err := n.HandleSubmit(req)
+	if err != nil {
+		return service.Status{}, mapLocalErr(err)
+	}
+	return st, nil
+}
+
+func (c *localConn) Status(ctx context.Context, node, jobID string) (service.Status, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return service.Status{}, err
+	}
+	return n.HandleStatus(jobID)
+}
+
+func (c *localConn) Cancel(ctx context.Context, node, jobID string) error {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return err
+	}
+	return n.HandleCancel(jobID)
+}
+
+func (c *localConn) Fetch(ctx context.Context, node, key string) ([]byte, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleFetch(key)
+}
+
+func (c *localConn) Replicate(ctx context.Context, node string, frame []byte) error {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return err
+	}
+	return n.HandleReplicate(frame)
+}
+
+func (c *localConn) Ping(ctx context.Context, node string) (Health, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return Health{}, err
+	}
+	return n.HandlePing(), nil
+}
+
+func (c *localConn) Steal(ctx context.Context, node string) (*StolenJob, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleSteal()
+}
+
+func (c *localConn) Join(ctx context.Context, node string, mem Member) ([]Member, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleJoin(mem), nil
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: an in-process N-node cluster.
+
+// FabricConfig sizes a local fabric. Node ids are "node0" … "nodeN-1".
+type FabricConfig struct {
+	// Nodes is the member count (default 3).
+	Nodes int
+	// Service builds node i's scheduler config (nil = service defaults).
+	Service func(i int) service.Config
+	// Opts overrides node i's cluster options; ID is filled in afterwards
+	// (nil = defaults).
+	Opts func(i int) Options
+}
+
+// Fabric is an in-process cluster: N services, N nodes, one LocalTransport,
+// full-mesh membership. Tests and local experiments drive it directly; the
+// golden figure tests prove it is byte-equivalent to one process.
+type Fabric struct {
+	Transport *LocalTransport
+	Nodes     []*Node
+	svcs      []*service.Service
+	killed    []bool
+}
+
+// NewFabric builds and starts an in-process fabric.
+func NewFabric(fc FabricConfig) (*Fabric, error) {
+	if fc.Nodes <= 0 {
+		fc.Nodes = 3
+	}
+	f := &Fabric{Transport: NewLocalTransport(), killed: make([]bool, fc.Nodes)}
+	for i := 0; i < fc.Nodes; i++ {
+		var scfg service.Config
+		if fc.Service != nil {
+			scfg = fc.Service(i)
+		}
+		svc, err := service.Open(scfg)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: fabric node %d: %w", i, err)
+		}
+		var opts Options
+		if fc.Opts != nil {
+			opts = fc.Opts(i)
+		}
+		opts.ID = fmt.Sprintf("node%d", i)
+		n := New(svc, opts)
+		f.Transport.Attach(n)
+		f.svcs = append(f.svcs, svc)
+		f.Nodes = append(f.Nodes, n)
+	}
+	for _, n := range f.Nodes {
+		for _, m := range f.Nodes {
+			if n != m {
+				n.AddMember(Member{ID: m.ID()})
+			}
+		}
+	}
+	for _, n := range f.Nodes {
+		n.Start()
+	}
+	return f, nil
+}
+
+// Kill models a node crash: unreachable on the wire, then its service is
+// closed (running jobs cancel at the next cycle boundary). Idempotent.
+func (f *Fabric) Kill(i int) {
+	if f.killed[i] {
+		return
+	}
+	f.killed[i] = true
+	f.Transport.Kill(f.Nodes[i].ID())
+	f.Nodes[i].Close()
+	_ = f.svcs[i].Close()
+}
+
+// Close shuts the surviving nodes and services down.
+func (f *Fabric) Close() {
+	for i := range f.Nodes {
+		if !f.killed[i] {
+			f.Nodes[i].Close()
+		}
+	}
+	for i, svc := range f.svcs {
+		if !f.killed[i] {
+			_ = svc.Close()
+		}
+	}
+}

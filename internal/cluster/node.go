@@ -1,0 +1,778 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Cluster failpoints (see internal/fault): forward makes one routing RPC
+// fail as unreachable (the partition model, driving re-dispatch);
+// replicate.send drops one peer's replica; replicate.recv tears one byte of
+// a received frame (the CRC check must reject it); fetch fails a peer-fetch
+// attempt; heartbeat skips one probe; steal refuses to hand out a job.
+var (
+	fpForward   = fault.Register(fault.SiteClusterForward)
+	fpReplSend  = fault.Register(fault.SiteClusterReplicateSend)
+	fpReplRecv  = fault.Register(fault.SiteClusterReplicateRecv)
+	fpFetch     = fault.Register(fault.SiteClusterFetch)
+	fpHeartbeat = fault.Register(fault.SiteClusterHeartbeat)
+	fpSteal     = fault.Register(fault.SiteClusterSteal)
+)
+
+// Options tunes one fabric node. The zero value of every field selects a
+// production-shaped default; tests shrink the intervals.
+type Options struct {
+	// ID is the node's stable identity on the ring. Required.
+	ID string
+	// Addr is the advertised base URL for HTTP fabrics (empty in-process).
+	Addr string
+	// Replicas is the ring's virtual-node count per member (default 64).
+	Replicas int
+	// HeartbeatInterval is the peer probe cadence (default 1s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how stale a peer's heartbeat may be before it is
+	// marked dead (default 4 × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// PollInterval is the forwarded-job status poll cadence, also the busy
+	// backoff unit (default 100ms).
+	PollInterval time.Duration
+	// StealThreshold is the minimum queue depth at which a peer becomes a
+	// steal victim (default 2).
+	StealThreshold int
+	// DelegationTimeout bounds how long a victim waits for a thief to
+	// deliver before reclaiming the job (default 30s).
+	DelegationTimeout time.Duration
+	// ForwardRetries is how many ErrBusy responses a forward absorbs before
+	// executing locally instead (default 3).
+	ForwardRetries int
+	// MaxHops bounds re-dispatch hops across dying owners before the job
+	// falls back to local execution (default 4).
+	MaxHops int
+	// ReplQueue sizes the asynchronous replication queue (default 256;
+	// overflow drops the broadcast — peer fetch covers the gap).
+	ReplQueue int
+}
+
+func (o *Options) defaults() {
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 4 * o.HeartbeatInterval
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.StealThreshold <= 0 {
+		o.StealThreshold = 2
+	}
+	if o.DelegationTimeout <= 0 {
+		o.DelegationTimeout = 30 * time.Second
+	}
+	if o.ForwardRetries <= 0 {
+		o.ForwardRetries = 3
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 4
+	}
+	if o.ReplQueue <= 0 {
+		o.ReplQueue = 256
+	}
+}
+
+// delegation is one queued job handed to a thief, with its reclaim timer.
+type delegation struct {
+	j     *service.Job
+	timer *time.Timer
+}
+
+// Counters is a node's cluster-counter snapshot (tests, smoke checks).
+type Counters struct {
+	Forwarded     uint64 // fresh jobs this node routed to a remote owner
+	Received      uint64 // forwarded jobs accepted as owner
+	Redispatched  uint64 // forwards re-routed after an owner died
+	LocalFallback uint64 // routed jobs that ended up executing here
+	ReplSent      uint64 // replicas delivered to peers
+	ReplRecv      uint64 // replicas accepted (CRC-verified) from peers
+	ReplTorn      uint64 // replicas rejected by CRC verification
+	ReplDropped   uint64 // broadcasts dropped on replication-queue overflow
+	Fetched       uint64 // records fetched from peers
+	FetchServed   uint64 // records served to fetching peers
+	StolenIn      uint64 // jobs stolen from victims and run here
+	StolenOut     uint64 // queued jobs handed out to thieves
+	Reclaimed     uint64 // delegations reclaimed after thief silence
+}
+
+// Node is one fabric member: a service.Service plus the routing, steal,
+// replication, and health machinery that makes N of them act as one
+// scheduler. The service never learns about the cluster — the node attaches
+// itself through the service's hook surface (service/cluster.go).
+type Node struct {
+	id   string
+	opts Options
+	svc  *service.Service
+	tr   Transport
+
+	ring    *Ring
+	members *membership
+
+	mu        sync.Mutex
+	delegated map[string][]delegation
+	health    map[string]Health // last heartbeat payload per peer
+
+	replCh   chan []byte
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  bool
+
+	forwarded     atomic.Uint64
+	received      atomic.Uint64
+	redispatched  atomic.Uint64
+	localFallback atomic.Uint64
+	replSent      atomic.Uint64
+	replRecv      atomic.Uint64
+	replTorn      atomic.Uint64
+	replDropped   atomic.Uint64
+	fetched       atomic.Uint64
+	fetchServed   atomic.Uint64
+	stolenIn      atomic.Uint64
+	stolenOut     atomic.Uint64
+	reclaimed     atomic.Uint64
+}
+
+// New builds a node around svc. The node installs itself into the service's
+// stats and completion hooks; call SetTransport, AddMember for the known
+// peers, then Start.
+func New(svc *service.Service, opts Options) *Node {
+	opts.defaults()
+	n := &Node{
+		id:        opts.ID,
+		opts:      opts,
+		svc:       svc,
+		ring:      NewRing(opts.Replicas),
+		members:   newMembership(),
+		delegated: map[string][]delegation{},
+		health:    map[string]Health{},
+		replCh:    make(chan []byte, opts.ReplQueue),
+		stop:      make(chan struct{}),
+	}
+	n.ring.Add(n.id)
+	n.members.upsert(Member{ID: n.id, Addr: opts.Addr}, true, time.Now())
+	svc.SetClusterStats(n.nodeStats)
+	svc.SetOnDone(n.onLocalDone)
+	return n
+}
+
+// ID returns the node's ring identity.
+func (n *Node) ID() string { return n.id }
+
+// Service returns the wrapped scheduler.
+func (n *Node) Service() *service.Service { return n.svc }
+
+// SetTransport wires the inter-node RPC implementation. Must be called
+// before Start.
+func (n *Node) SetTransport(tr Transport) { n.tr = tr }
+
+// AddMember registers a peer on the ring and in the membership table.
+// Idempotent; safe while running (joins arrive concurrently).
+func (n *Node) AddMember(mem Member) {
+	if mem.ID == "" || mem.ID == n.id {
+		return
+	}
+	if n.members.upsert(mem, false, time.Now()) {
+		n.ring.Add(mem.ID)
+	}
+}
+
+// MemberAddr resolves a member id to its advertised address (the HTTP
+// transport's resolver).
+func (n *Node) MemberAddr(id string) (string, bool) { return n.members.addr(id) }
+
+// Members lists the current membership, sorted by id.
+func (n *Node) Members() []Member { return n.members.list() }
+
+// Counters snapshots the node's cluster counters.
+func (n *Node) Counters() Counters {
+	return Counters{
+		Forwarded:     n.forwarded.Load(),
+		Received:      n.received.Load(),
+		Redispatched:  n.redispatched.Load(),
+		LocalFallback: n.localFallback.Load(),
+		ReplSent:      n.replSent.Load(),
+		ReplRecv:      n.replRecv.Load(),
+		ReplTorn:      n.replTorn.Load(),
+		ReplDropped:   n.replDropped.Load(),
+		Fetched:       n.fetched.Load(),
+		FetchServed:   n.fetchServed.Load(),
+		StolenIn:      n.stolenIn.Load(),
+		StolenOut:     n.stolenOut.Load(),
+		Reclaimed:     n.reclaimed.Load(),
+	}
+}
+
+// Start launches the heartbeat and replication loops.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.wg.Add(2)
+	go n.heartbeats()
+	go n.replicator()
+}
+
+// Close stops the loops and synchronously reclaims every outstanding
+// delegation so no caller is left waiting on a thief that will never
+// report. It does not close the wrapped service — the owner does that.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	n.mu.Lock()
+	var all []delegation
+	for k, dels := range n.delegated {
+		all = append(all, dels...)
+		delete(n.delegated, k)
+	}
+	n.mu.Unlock()
+	for _, d := range all {
+		d.timer.Stop()
+		n.svc.ExecuteNow(d.j)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: the submission path.
+
+// Submit schedules cfg cluster-wide: uncacheable configs (no canonical
+// identity) run locally; keys this node owns go through the local scheduler
+// unchanged; everything else becomes a routed job driven to completion on
+// the ring owner, with deterministic re-dispatch if the owner dies.
+func (n *Node) Submit(client string, cfg sim.Config) (*service.Job, error) {
+	key, cacheable := service.CacheKey(&cfg)
+	if !cacheable {
+		return n.svc.Submit(client, cfg)
+	}
+	owner := n.owner(key)
+	if owner == n.id {
+		return n.svc.Submit(client, cfg)
+	}
+	j, fresh, err := n.svc.NewRoutedJob(client, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		n.forwarded.Add(1)
+		n.wg.Add(1)
+		go n.routeJob(j, owner)
+	}
+	return j, nil
+}
+
+// Run submits cfg and blocks until the job is terminal.
+func (n *Node) Run(ctx context.Context, client string, cfg sim.Config) (*sim.Result, error) {
+	j, err := n.Submit(client, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// owner is the ring owner of key among members not currently marked dead;
+// self is never dead, so it always resolves.
+func (n *Node) owner(key string) string {
+	if o := n.ring.Owner(key, n.members.isDead); o != "" {
+		return o
+	}
+	return n.id
+}
+
+// routeJob drives a routed job to a terminal state: forward to the owner,
+// mirror progress and cancellation, fetch the result bytes; when an owner
+// dies, fail over to the next ring owner; as the last resort run locally
+// (after trying a peer fetch — the previous owner may have completed and
+// replicated before dying).
+func (n *Node) routeJob(j *service.Job, owner string) {
+	defer n.wg.Done()
+	if !n.svc.StartRouted(j) {
+		n.svc.FinishRouted(j, nil, sim.ErrCancelled)
+		return
+	}
+	for hop := 0; hop < n.opts.MaxHops && owner != n.id; hop++ {
+		done, next := n.runRemote(j, owner)
+		if done {
+			return
+		}
+		n.redispatched.Add(1)
+		owner = next
+	}
+	n.localFallback.Add(1)
+	if res, ok := n.fetchFromPeers(j.Key()); ok {
+		n.svc.FinishRouted(j, res, nil)
+		return
+	}
+	n.svc.ExecuteNow(j)
+}
+
+// runRemote forwards j to owner and follows it to a terminal state.
+// done=false means the owner became unreachable mid-flight; next is the new
+// ring owner to try (possibly this node).
+func (n *Node) runRemote(j *service.Job, owner string) (done bool, next string) {
+	ctx := context.Background()
+	req := SubmitRequest{Client: n.id + "/" + j.Client(), Key: j.Key(), Cfg: j.Config()}
+	var st service.Status
+	for attempt := 0; ; attempt++ {
+		var err error
+		st, err = n.rpcSubmit(ctx, owner, req)
+		if err == nil {
+			break
+		}
+		switch {
+		case isUnreachable(err):
+			return false, n.failOver(owner, j.Key())
+		case err == ErrBusy && attempt < n.opts.ForwardRetries:
+			time.Sleep(n.opts.PollInterval)
+		case err == ErrBusy:
+			// Owner is saturated: steal the job back and run it here —
+			// determinism makes the potential duplicate execution benign.
+			return false, n.id
+		default:
+			n.svc.FinishRouted(j, nil, fmt.Errorf("cluster: forward to %s: %w", owner, err))
+			return true, ""
+		}
+	}
+	sentCancel := false
+	for {
+		if st.State.Terminal() {
+			return n.finishRemote(ctx, j, owner, st), ""
+		}
+		time.Sleep(n.opts.PollInterval)
+		if !sentCancel && j.CancelRequested() {
+			_ = n.rpcCancel(ctx, owner, st.ID) // best effort; polls confirm
+			sentCancel = true
+		}
+		st2, err := n.rpcStatus(ctx, owner, st.ID)
+		if err != nil {
+			// Unreachable or the owner restarted and forgot the job: either
+			// way the run is gone there — fail over.
+			return false, n.failOver(owner, j.Key())
+		}
+		st = st2
+		j.ReportProgress(sim.Progress{
+			Cycles: st.Cycles, Retired: st.Retired,
+			TargetInstrs: st.TargetInstrs, IPC: st.IPC,
+		})
+	}
+}
+
+// finishRemote resolves a routed job whose remote run reached a terminal
+// state. Returns false (not done) only when the result bytes could not be
+// retrieved from anywhere — the caller then re-dispatches.
+func (n *Node) finishRemote(ctx context.Context, j *service.Job, owner string, st service.Status) bool {
+	switch st.State {
+	case service.StateDone:
+		if res, ok := n.fetchRecord(ctx, owner, j.Key()); ok {
+			n.svc.FinishRouted(j, res, nil)
+			return true
+		}
+		if res, ok := n.fetchFromPeers(j.Key()); ok {
+			n.svc.FinishRouted(j, res, nil)
+			return true
+		}
+		n.members.markDead(owner)
+		return false
+	case service.StateCancelled:
+		n.svc.FinishRouted(j, nil, sim.ErrCancelled)
+		return true
+	default:
+		n.svc.FinishRouted(j, nil, &RemoteError{Node: owner, Msg: st.Error})
+		return true
+	}
+}
+
+// failOver marks owner dead and returns the key's next ring owner.
+func (n *Node) failOver(owner, key string) string {
+	n.members.markDead(owner)
+	return n.owner(key)
+}
+
+// rpcSubmit/rpcStatus/rpcCancel wrap the routing RPCs with the forward
+// failpoint: a firing is indistinguishable from a partition.
+func (n *Node) rpcSubmit(ctx context.Context, node string, req SubmitRequest) (service.Status, error) {
+	if fpForward.Fire() {
+		return service.Status{}, ErrUnreachable
+	}
+	return n.tr.Submit(ctx, node, req)
+}
+
+func (n *Node) rpcStatus(ctx context.Context, node, jobID string) (service.Status, error) {
+	if fpForward.Fire() {
+		return service.Status{}, ErrUnreachable
+	}
+	return n.tr.Status(ctx, node, jobID)
+}
+
+func (n *Node) rpcCancel(ctx context.Context, node, jobID string) error {
+	if fpForward.Fire() {
+		return ErrUnreachable
+	}
+	return n.tr.Cancel(ctx, node, jobID)
+}
+
+func isUnreachable(err error) bool {
+	return err == ErrUnreachable || err == service.ErrDraining
+}
+
+// ---------------------------------------------------------------------------
+// Replication and peer fetch.
+
+// onLocalDone is the service completion hook: a fresh result was computed
+// here; broadcast its durable frame to peers asynchronously. Runs on the
+// worker goroutine, so it only enqueues.
+func (n *Node) onLocalDone(key string, res *sim.Result) {
+	frame, err := service.EncodeRecord(key, res)
+	if err != nil {
+		return
+	}
+	select {
+	case n.replCh <- frame:
+	default:
+		n.replDropped.Add(1) // peer fetch covers the gap
+	}
+}
+
+// replicator drains the broadcast queue.
+func (n *Node) replicator() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case frame := <-n.replCh:
+			n.broadcast(frame)
+		}
+	}
+}
+
+// broadcast delivers one durable frame to every live peer.
+func (n *Node) broadcast(frame []byte) {
+	for _, p := range n.members.alivePeers(n.id) {
+		if fpReplSend.Fire() {
+			continue
+		}
+		if err := n.tr.Replicate(context.Background(), p.ID, frame); err == nil {
+			n.replSent.Add(1)
+		}
+	}
+}
+
+// fetchRecord pulls the durable frame for key from one peer, CRC-verifies
+// it, and seeds the local cache on success.
+func (n *Node) fetchRecord(ctx context.Context, node, key string) (*sim.Result, bool) {
+	if fpFetch.Fire() {
+		return nil, false
+	}
+	frame, err := n.tr.Fetch(ctx, node, key)
+	if err != nil {
+		return nil, false
+	}
+	k, res, err := service.DecodeRecord(frame)
+	if err != nil || k != key {
+		return nil, false
+	}
+	n.fetched.Add(1)
+	n.svc.SeedResult(key, res)
+	return res, true
+}
+
+// fetchFromPeers tries every live peer in id order.
+func (n *Node) fetchFromPeers(key string) (*sim.Result, bool) {
+	for _, p := range n.members.alivePeers(n.id) {
+		if res, ok := n.fetchRecord(context.Background(), p.ID, key); ok {
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Receiver-side handlers (the transport calls these on the target node).
+
+// HandleSubmit is the owner-side intake for a forwarded job. The key is
+// recomputed from the config and must match the sender's — a mismatch means
+// the config did not survive its encoding and the job must not run under
+// the forwarded identity.
+func (n *Node) HandleSubmit(req SubmitRequest) (service.Status, error) {
+	key, ok := service.CacheKey(&req.Cfg)
+	if !ok || key != req.Key {
+		return service.Status{}, fmt.Errorf("cluster: forwarded key %q does not match config (computed %q)", req.Key, key)
+	}
+	j, err := n.svc.Submit(req.Client, req.Cfg)
+	if err != nil {
+		return service.Status{}, err
+	}
+	n.received.Add(1)
+	return j.Status(), nil
+}
+
+// HandleStatus polls a job by id.
+func (n *Node) HandleStatus(jobID string) (service.Status, error) {
+	j, ok := n.svc.Job(jobID)
+	if !ok {
+		return service.Status{}, service.ErrNotFound
+	}
+	return j.Status(), nil
+}
+
+// HandleCancel propagates a cancellation.
+func (n *Node) HandleCancel(jobID string) error { return n.svc.Cancel(jobID) }
+
+// HandleFetch serves the durable frame for key from the local cache.
+func (n *Node) HandleFetch(key string) ([]byte, error) {
+	res, ok := n.svc.PeekResult(key)
+	if !ok {
+		return nil, ErrNoRecord
+	}
+	frame, err := service.EncodeRecord(key, res)
+	if err != nil {
+		return nil, err
+	}
+	n.fetchServed.Add(1)
+	return frame, nil
+}
+
+// HandleReplicate applies a replicated durable frame: CRC-verify, seed the
+// local cache (write-through to disk when configured), and complete any
+// delegated jobs waiting on the key. Torn frames are rejected and counted —
+// a corrupt byte can never reach the cache.
+func (n *Node) HandleReplicate(frame []byte) error {
+	if len(frame) > 0 && fpReplRecv.Fire() {
+		// Tear the copy mid-frame; the verification below must reject it.
+		torn := append([]byte(nil), frame...)
+		torn[len(torn)/2] ^= 0xFF
+		frame = torn
+	}
+	key, res, err := service.DecodeRecord(frame)
+	if err != nil {
+		n.replTorn.Add(1)
+		return fmt.Errorf("cluster: replica rejected: %w", err)
+	}
+	n.replRecv.Add(1)
+	n.svc.SeedResult(key, res)
+	n.completeDelegated(key, res)
+	return nil
+}
+
+// HandlePing answers a heartbeat with this node's load.
+func (n *Node) HandlePing() Health {
+	st := n.svc.Stats()
+	return Health{ID: n.id, Queued: st.QueueDepth, Running: st.Running, Hung: st.Hung}
+}
+
+// HandleSteal hands one queued job to a thief, arming the reclaim timer: if
+// neither a replica nor a reclaim completes the job within
+// DelegationTimeout, the victim re-executes it locally (determinism makes a
+// thief that finished late a benign duplicate).
+func (n *Node) HandleSteal() (*StolenJob, error) {
+	if fpSteal.Fire() {
+		return nil, nil
+	}
+	j, ok := n.svc.TakeQueued()
+	if !ok {
+		return nil, nil
+	}
+	n.mu.Lock()
+	n.delegated[j.Key()] = append(n.delegated[j.Key()], delegation{
+		j:     j,
+		timer: time.AfterFunc(n.opts.DelegationTimeout, func() { n.reclaim(j) }),
+	})
+	n.mu.Unlock()
+	n.stolenOut.Add(1)
+	return &StolenJob{Key: j.Key(), Client: j.Client(), Cfg: j.Config()}, nil
+}
+
+// HandleJoin admits a member announced by a peer (or by the member itself),
+// returns the full member list, and gossips genuinely new members onward so
+// every existing node learns of the newcomer. Idempotent upserts make the
+// gossip converge.
+func (n *Node) HandleJoin(mem Member) []Member {
+	if mem.ID != "" && mem.ID != n.id && n.members.upsert(mem, false, time.Now()) {
+		n.ring.Add(mem.ID)
+		peers := n.members.alivePeers(n.id)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for _, p := range peers {
+				if p.ID == mem.ID {
+					continue
+				}
+				_, _ = n.tr.Join(context.Background(), p.ID, mem)
+			}
+		}()
+	}
+	return n.members.list()
+}
+
+// completeDelegated resolves delegated jobs whose result just arrived.
+func (n *Node) completeDelegated(key string, res *sim.Result) {
+	n.mu.Lock()
+	dels := n.delegated[key]
+	delete(n.delegated, key)
+	n.mu.Unlock()
+	for _, d := range dels {
+		d.timer.Stop()
+		n.svc.FinishStolen(d.j, res)
+	}
+}
+
+// reclaim re-executes a delegated job whose thief never reported back.
+func (n *Node) reclaim(j *service.Job) {
+	n.mu.Lock()
+	dels := n.delegated[j.Key()]
+	rest := dels[:0]
+	found := false
+	for _, d := range dels {
+		if d.j == j {
+			found = true
+			continue
+		}
+		rest = append(rest, d)
+	}
+	if len(rest) == 0 {
+		delete(n.delegated, j.Key())
+	} else {
+		n.delegated[j.Key()] = rest
+	}
+	n.mu.Unlock()
+	if !found {
+		return
+	}
+	n.reclaimed.Add(1)
+	n.svc.ExecuteNow(j)
+}
+
+// ---------------------------------------------------------------------------
+// Health and stealing.
+
+// heartbeats is the node-granularity watchdog loop: probe every peer (dead
+// ones too — that is how they revive after a healed partition), sweep for
+// stale heartbeats, then consider stealing work if idle.
+func (n *Node) heartbeats() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.heartbeatRound()
+		}
+	}
+}
+
+func (n *Node) heartbeatRound() {
+	for _, p := range n.members.peers(n.id) {
+		if fpHeartbeat.Fire() {
+			continue
+		}
+		h, err := n.tr.Ping(context.Background(), p.ID)
+		if err != nil {
+			continue
+		}
+		n.members.markAlive(p.ID, time.Now())
+		n.mu.Lock()
+		n.health[p.ID] = h
+		n.mu.Unlock()
+	}
+	n.members.sweep(time.Now(), n.opts.SuspectAfter)
+	n.maybeSteal()
+}
+
+// maybeSteal pulls one job from the most loaded live peer when this node's
+// own queue is empty — skew smoothing, not load balancing: the ring already
+// spreads keys, stealing only absorbs hot-spot bursts.
+func (n *Node) maybeSteal() {
+	if n.svc.QueueDepth() > 0 {
+		return
+	}
+	victim, best := "", n.opts.StealThreshold-1
+	n.mu.Lock()
+	for id, h := range n.health {
+		if h.Queued > best && !n.members.isDead(id) {
+			victim, best = id, h.Queued
+		}
+	}
+	n.mu.Unlock()
+	if victim == "" {
+		return
+	}
+	sj, err := n.tr.Steal(context.Background(), victim)
+	if err != nil || sj == nil {
+		return
+	}
+	n.wg.Add(1)
+	go n.runStolen(victim, sj)
+}
+
+// runStolen executes one stolen job and delivers the result straight back
+// to the victim (the broadcast replication would also get there, but the
+// direct send beats the victim's delegation timeout deterministically).
+func (n *Node) runStolen(victim string, sj *StolenJob) {
+	defer n.wg.Done()
+	n.stolenIn.Add(1)
+	res, err := n.svc.Run(context.Background(), "steal/"+victim, sj.Cfg)
+	if err != nil {
+		return // victim reclaims on the delegation timeout
+	}
+	frame, err := service.EncodeRecord(sj.Key, res)
+	if err != nil {
+		return
+	}
+	if err := n.tr.Replicate(context.Background(), victim, frame); err == nil {
+		n.replSent.Add(1)
+	}
+}
+
+// nodeStats is the service stats hook: the per-node rows for
+// /api/v1/stats/stream and the NODE table in emcctl top.
+func (n *Node) nodeStats(local *service.Stats) []service.NodeStat {
+	rows := []service.NodeStat{{
+		Node: n.id, Addr: n.opts.Addr, State: "self",
+		Queued: local.QueueDepth, Running: local.Running, Hung: local.Hung,
+		Forwarded:    n.forwarded.Load(),
+		Redispatched: n.redispatched.Load(),
+		StolenIn:     n.stolenIn.Load(),
+		StolenOut:    n.stolenOut.Load(),
+		Replicated:   n.replRecv.Load(),
+		ReplTorn:     n.replTorn.Load(),
+		Fetched:      n.fetched.Load(),
+	}}
+	now := time.Now()
+	for _, m := range n.members.rows(n.id) {
+		row := service.NodeStat{Node: m.ID, Addr: m.Addr, State: "alive", HeartbeatAgeMS: -1}
+		if !m.Alive {
+			row.State = "dead"
+		}
+		if !m.LastBeat.IsZero() {
+			row.HeartbeatAgeMS = now.Sub(m.LastBeat).Milliseconds()
+		}
+		n.mu.Lock()
+		if h, ok := n.health[m.ID]; ok {
+			row.Queued, row.Running, row.Hung = h.Queued, h.Running, h.Hung
+		}
+		n.mu.Unlock()
+		rows = append(rows, row)
+	}
+	return rows
+}

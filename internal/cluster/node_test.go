@@ -1,0 +1,544 @@
+// Fabric unit tests: routing, cluster-wide coalescing, failover, stealing,
+// replication, and membership — all over the in-process LocalTransport.
+// Failpoints are process-global, so no t.Parallel anywhere in this package.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func tinyCfg(seed uint64) sim.Config {
+	cfg := sim.Default([]string{"mcf", "sphinx3", "soplex", "libquantum"})
+	cfg.InstrPerCore = 1000
+	cfg.Seed = seed
+	return cfg
+}
+
+// runTiny runs cfg directly — the ground truth every fabric path is
+// compared against.
+func runTiny(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	sys, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fastOpts shrinks every fabric interval so tests converge in milliseconds.
+func fastOpts(int) cluster.Options {
+	return cluster.Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      60 * time.Millisecond,
+		PollInterval:      2 * time.Millisecond,
+		DelegationTimeout: 2 * time.Second,
+	}
+}
+
+func newFabric(t *testing.T, nodes int, scfg func(i int) service.Config) *cluster.Fabric {
+	return newFabricOpts(t, nodes, scfg, fastOpts)
+}
+
+func newFabricOpts(t *testing.T, nodes int, scfg func(i int) service.Config, opts func(i int) cluster.Options) *cluster.Fabric {
+	t.Helper()
+	if scfg == nil {
+		scfg = func(int) service.Config { return service.Config{Workers: 2, QueueCap: 64} }
+	}
+	f, err := cluster.NewFabric(cluster.FabricConfig{Nodes: nodes, Service: scfg, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// ownerOf mirrors the fabric's ownership function for an undisturbed N-node
+// ring (default replicas, ids node0..nodeN-1).
+func ownerOf(nodes int, key string) string {
+	r := cluster.NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	return r.Owner(key, nil)
+}
+
+// cfgOwnedBy searches seeds until a tiny config's cache key lands on the
+// wanted node — how tests pin down which node executes.
+func cfgOwnedBy(t *testing.T, nodes, ownerIdx int) sim.Config {
+	t.Helper()
+	want := fmt.Sprintf("node%d", ownerIdx)
+	for seed := uint64(1); seed < 4096; seed++ {
+		cfg := tinyCfg(seed)
+		key, ok := service.CacheKey(&cfg)
+		if !ok {
+			t.Fatal("tiny config unexpectedly uncacheable")
+		}
+		if ownerOf(nodes, key) == want {
+			return cfg
+		}
+	}
+	t.Fatalf("no seed in [1,4096) hashes to %s", want)
+	return sim.Config{}
+}
+
+// sumExecuted totals actual simulation executions across the fabric — the
+// dedup invariant's ground truth.
+func sumExecuted(f *cluster.Fabric) uint64 {
+	var total uint64
+	for _, n := range f.Nodes {
+		total += n.Service().Stats().Executed
+	}
+	return total
+}
+
+// TestRoutedSubmitForwardsToOwner: a submission received by a non-owner is
+// driven to completion on the ring owner, and exactly one node executes.
+func TestRoutedSubmitForwardsToOwner(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 3, nil)
+	cfg := cfgOwnedBy(t, 3, 1)
+	ref := runTiny(t, cfg).Hash()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := f.Nodes[0].Run(ctx, "t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash() != ref {
+		t.Fatalf("routed result hash %#x != direct %#x", res.Hash(), ref)
+	}
+	if c := f.Nodes[0].Counters(); c.Forwarded != 1 {
+		t.Fatalf("entry node forwarded %d jobs, want 1 (%+v)", c.Forwarded, c)
+	}
+	if c := f.Nodes[1].Counters(); c.Received != 1 {
+		t.Fatalf("owner received %d forwards, want 1 (%+v)", c.Received, c)
+	}
+	if m := f.Nodes[1].Service().Stats().Executed; m != 1 {
+		t.Fatalf("owner executed %d runs, want 1", m)
+	}
+	if m := f.Nodes[0].Service().Stats().Executed; m != 0 {
+		t.Fatalf("entry node executed %d runs, want 0", m)
+	}
+	// The fetched result seeds the entry node's cache: resubmitting locally
+	// is now a cache hit, no forward.
+	j, err := f.Nodes[0].Submit("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Nodes[0].Counters(); c.Forwarded != 1 {
+		t.Fatalf("resubmit after fetch forwarded again (%d)", c.Forwarded)
+	}
+}
+
+// TestDuplicateSubmissionsCoalesceClusterWide is the cross-node dedup
+// contract: identical fingerprints submitted concurrently to two different
+// nodes coalesce into one actual run, and every caller gets byte-identical
+// result records.
+func TestDuplicateSubmissionsCoalesceClusterWide(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 3, nil)
+	// Owner is node2, so both entry nodes (0 and 1) must forward and the
+	// owner's scheduler is the cluster-wide serialization point.
+	cfg := cfgOwnedBy(t, 3, 2)
+	key, _ := service.CacheKey(&cfg)
+	ref := runTiny(t, cfg).Hash()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const perNode = 3
+	results := make([]*sim.Result, 2*perNode)
+	errs := make([]error, 2*perNode)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*perNode; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Nodes[i%2].Run(ctx, fmt.Sprintf("client%d", i), cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	var first []byte
+	for i, res := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if res.Hash() != ref {
+			t.Fatalf("caller %d: hash %#x != reference %#x", i, res.Hash(), ref)
+		}
+		frame, err := service.EncodeRecord(key, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = frame
+		} else if !bytes.Equal(frame, first) {
+			t.Fatalf("caller %d: result record bytes differ from caller 0", i)
+		}
+	}
+	if got := sumExecuted(f); got != 1 {
+		t.Fatalf("%d actual executions across the fabric, want exactly 1", got)
+	}
+	if c := f.Nodes[2].Counters(); c.Received == 0 {
+		t.Fatalf("owner never received a forward (%+v)", c)
+	}
+}
+
+// TestOwnerDeathRedispatch: when a key's owner is dead, the forward fails
+// over to the next ring owner deterministically and the job still completes
+// with the reference result.
+func TestOwnerDeathRedispatch(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 3, nil)
+	cfg := cfgOwnedBy(t, 3, 1)
+	ref := runTiny(t, cfg).Hash()
+
+	f.Kill(1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := f.Nodes[0].Run(ctx, "t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash() != ref {
+		t.Fatalf("failover result hash %#x != direct %#x", res.Hash(), ref)
+	}
+	c := f.Nodes[0].Counters()
+	if c.Redispatched == 0 && c.LocalFallback == 0 {
+		t.Fatalf("no failover recorded after owner death (%+v)", c)
+	}
+	// Exactly one surviving node executed.
+	if got := f.Nodes[0].Service().Stats().Executed + f.Nodes[2].Service().Stats().Executed; got != 1 {
+		t.Fatalf("%d executions on survivors, want 1", got)
+	}
+}
+
+// TestWorkStealing: an idle node pulls queued jobs off a saturated peer,
+// runs them, and delivers the results back; the victim's jobs complete
+// without its blocked worker ever touching them.
+func TestWorkStealing(t *testing.T) {
+	fault.DisableAll()
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	f := newFabricOpts(t, 2, func(i int) service.Config {
+		if i == 0 {
+			return service.Config{Workers: 1, QueueCap: 64}
+		}
+		return service.Config{Workers: 2, QueueCap: 64}
+	}, func(i int) cluster.Options {
+		o := fastOpts(i)
+		o.StealThreshold = 1 // steal even a single queued job
+		return o
+	})
+
+	// Park node0's only worker on an uncacheable blocker (CoreTweak makes it
+	// non-routable, so it runs locally).
+	blocker := tinyCfg(99)
+	blocker.CoreTweak = func(*cpu.Config) { <-release }
+	bj, err := f.Nodes[0].Submit("blocker", blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue three cacheable jobs that node0 owns; with the worker parked they
+	// can only finish if node1 steals them.
+	var cfgs []sim.Config
+	for seed := uint64(1); len(cfgs) < 3 && seed < 4096; seed++ {
+		cfg := tinyCfg(seed)
+		key, _ := service.CacheKey(&cfg)
+		if ownerOf(2, key) == "node0" {
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	if len(cfgs) < 3 {
+		t.Fatal("not enough node0-owned seeds")
+	}
+	var jobs []*service.Job
+	for i, cfg := range cfgs {
+		j, err := f.Nodes[0].Submit(fmt.Sprintf("c%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, j := range jobs {
+		res, err := j.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if got, want := res.Hash(), runTiny(t, cfgs[i]).Hash(); got != want {
+			t.Fatalf("job %d: stolen result hash %#x != direct %#x", i, got, want)
+		}
+	}
+	if c := f.Nodes[0].Counters(); c.StolenOut == 0 {
+		t.Fatalf("victim handed out no jobs (%+v)", c)
+	}
+	if c := f.Nodes[1].Counters(); c.StolenIn == 0 {
+		t.Fatalf("thief ran no stolen jobs (%+v)", c)
+	}
+
+	close(release)
+	if _, err := bj.Wait(ctx); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+}
+
+// TestTornReplicaRejected: a replica corrupted in flight must be rejected by
+// the CRC check, counted, and kept out of the cache; the retransmit seeds
+// cleanly.
+func TestTornReplicaRejected(t *testing.T) {
+	fault.DisableAll()
+	t.Cleanup(fault.DisableAll)
+	f := newFabric(t, 2, nil)
+	cfg := tinyCfg(1)
+	key, _ := service.CacheKey(&cfg)
+	res := runTiny(t, cfg)
+	frame, err := service.EncodeRecord(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp, ok := fault.Lookup(fault.SiteClusterReplicateRecv)
+	if !ok {
+		t.Fatal("replicate.recv failpoint not registered")
+	}
+	fp.Enable(fault.Trigger{Once: true})
+	if err := f.Nodes[1].HandleReplicate(frame); err == nil {
+		t.Fatal("torn replica accepted")
+	} else if !errors.Is(err, service.ErrRecordCorrupt) {
+		t.Fatalf("torn replica rejected with the wrong error: %v", err)
+	}
+	if c := f.Nodes[1].Counters(); c.ReplTorn != 1 || c.ReplRecv != 0 {
+		t.Fatalf("torn counters wrong: %+v", c)
+	}
+	if _, ok := f.Nodes[1].Service().PeekResult(key); ok {
+		t.Fatal("torn replica reached the cache")
+	}
+
+	// The retransmit (failpoint disarmed by Once) seeds bit-identically.
+	if err := f.Nodes[1].HandleReplicate(frame); err != nil {
+		t.Fatalf("clean replica rejected: %v", err)
+	}
+	got, ok := f.Nodes[1].Service().PeekResult(key)
+	if !ok {
+		t.Fatal("clean replica not seeded")
+	}
+	reframe, err := service.EncodeRecord(key, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reframe, frame) {
+		t.Fatal("seeded replica re-encodes to different bytes")
+	}
+}
+
+// TestReplicationSeedsPeers: a fresh local result broadcasts to every peer,
+// so later duplicate submissions anywhere are cache hits with no forward.
+func TestReplicationSeedsPeers(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 3, nil)
+	cfg := cfgOwnedBy(t, 3, 0)
+	key, _ := service.CacheKey(&cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := f.Nodes[0].Run(ctx, "t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for _, i := range []int{1, 2} {
+		for {
+			if peer, ok := f.Nodes[i].Service().PeekResult(key); ok {
+				if peer.Hash() != res.Hash() {
+					t.Fatalf("node%d replica hash %#x != original %#x", i, peer.Hash(), res.Hash())
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica never reached node%d", i)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Duplicate submission at a non-owner is now a pure local cache hit.
+	j, err := f.Nodes[1].Submit("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Nodes[1].Counters(); c.Forwarded != 0 {
+		t.Fatalf("replicated key still forwarded (%+v)", c)
+	}
+	if got := sumExecuted(f); got != 1 {
+		t.Fatalf("%d executions, want 1", got)
+	}
+}
+
+// TestRoutedCancelPropagates: cancelling a routed job on the entry node
+// reaches the owner and both sides settle cancelled.
+func TestRoutedCancelPropagates(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 2, nil)
+	// A long run gives the cancel time to land; owned by node1 so node0
+	// routes it.
+	var cfg sim.Config
+	found := false
+	for seed := uint64(1); seed < 4096; seed++ {
+		cfg = tinyCfg(seed)
+		cfg.InstrPerCore = 30_000_000
+		if key, _ := service.CacheKey(&cfg); ownerOf(2, key) == "node1" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no node1-owned seed")
+	}
+	j, err := f.Nodes[0].Submit("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the remote run to visibly start (mirrored progress), then
+	// cancel through the entry node's service.
+	deadline := time.Now().Add(20 * time.Second)
+	for j.Status().Retired == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := f.Nodes[0].Service().Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); !errors.Is(err, sim.ErrCancelled) {
+		t.Fatalf("routed job ended %v, want cancellation", err)
+	}
+	if st := j.Status(); st.State != service.StateCancelled {
+		t.Fatalf("routed job state %s, want cancelled", st.State)
+	}
+}
+
+// TestJoinGossip: a node joining through one member propagates to the rest
+// of the fabric without the newcomer contacting them.
+func TestJoinGossip(t *testing.T) {
+	fault.DisableAll()
+	lt := cluster.NewLocalTransport()
+	mk := func(id string) *cluster.Node {
+		svc, err := service.Open(service.Config{Workers: 1, QueueCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		n := cluster.New(svc, cluster.Options{
+			ID:                id,
+			HeartbeatInterval: 5 * time.Millisecond,
+			SuspectAfter:      50 * time.Millisecond,
+		})
+		lt.Attach(n)
+		t.Cleanup(n.Close)
+		return n
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	a.AddMember(cluster.Member{ID: "b"})
+	b.AddMember(cluster.Member{ID: "a"})
+	a.Start()
+	b.Start()
+	c.Start()
+
+	members := a.HandleJoin(cluster.Member{ID: "c"})
+	if len(members) != 3 {
+		t.Fatalf("join returned %d members, want 3: %+v", len(members), members)
+	}
+	for _, m := range members {
+		c.AddMember(m)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(b.Members()) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip never reached b: %+v", b.Members())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestNodeStatsRows: Stats.Nodes carries one self row with counters plus one
+// row per peer with heartbeat-fed load.
+func TestNodeStatsRows(t *testing.T) {
+	fault.DisableAll()
+	f := newFabric(t, 3, nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := f.Nodes[0].Service().Stats()
+		if len(st.Nodes) == 3 && st.Nodes[0].State == "self" {
+			alive := 0
+			for _, row := range st.Nodes[1:] {
+				if row.State == "alive" && row.HeartbeatAgeMS >= 0 {
+					alive++
+				}
+			}
+			if alive == 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node rows never converged: %+v", st.Nodes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A dead peer flips its row.
+	f.Kill(2)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := f.Nodes[0].Service().Stats()
+		dead := false
+		for _, row := range st.Nodes {
+			if row.Node == "node2" && row.State == "dead" {
+				dead = true
+			}
+		}
+		if dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed peer never marked dead: %+v", st.Nodes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Transport errors. Everything the fabric does is retry- or
+// failover-driven, so errors classify into exactly three buckets: the node
+// cannot be reached right now (failover), the node is up but refusing work
+// (back off, then fall back), or the request itself is bad (permanent).
+var (
+	// ErrUnreachable means the node did not answer: connection failure, a
+	// partition, a kill, or a draining service. The caller fails over.
+	ErrUnreachable = errors.New("cluster: node unreachable")
+	// ErrBusy means the node answered but its queue is full (the remote
+	// service returned ErrQueueFull). The caller backs off and retries.
+	ErrBusy = errors.New("cluster: node busy")
+	// ErrNoRecord means a fetch found no cached record under the key.
+	ErrNoRecord = errors.New("cluster: no such record")
+)
+
+// RemoteError is a terminal failure reported by the owning node. The
+// original error crossed the wire as text, so callers that classify
+// failures (the chaos suite) match on Msg rather than errors.Is.
+type RemoteError struct {
+	Node string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: job failed on node %s: %s", e.Node, e.Msg)
+}
+
+// SubmitRequest forwards one job to its ring owner. Key is the sender's
+// computed cache key; the receiver recomputes it from Cfg and rejects a
+// mismatch, so a lossy config encoding can never alias two configurations.
+type SubmitRequest struct {
+	Client string     `json:"client"`
+	Key    string     `json:"key"`
+	Cfg    sim.Config `json:"config"`
+}
+
+// Health is one node's heartbeat payload.
+type Health struct {
+	ID      string `json:"id"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Hung    int    `json:"hung"`
+}
+
+// StolenJob is one queued unit of work a victim handed to a thief.
+type StolenJob struct {
+	Key    string     `json:"key"`
+	Client string     `json:"client"`
+	Cfg    sim.Config `json:"config"`
+}
+
+// Transport is the inter-node RPC surface. Two implementations exist: the
+// in-process LocalTransport (tests, chaos schedules, same-process fabrics)
+// and the HTTPTransport speaking the /api/v1/cluster endpoints between
+// emcserve processes. Node ids, not addresses, name the target — the
+// transport resolves them through the membership table.
+type Transport interface {
+	// Submit hands a forwarded job to its owner and returns the owner's
+	// job status (which may already be terminal on a cache hit).
+	Submit(ctx context.Context, node string, req SubmitRequest) (service.Status, error)
+	// Status polls a forwarded job on its owner.
+	Status(ctx context.Context, node, jobID string) (service.Status, error)
+	// Cancel propagates a cancellation to the owner. Best effort.
+	Cancel(ctx context.Context, node, jobID string) error
+	// Fetch retrieves the durable EMCR frame for key from a peer's cache.
+	Fetch(ctx context.Context, node, key string) ([]byte, error)
+	// Replicate delivers a durable EMCR frame to a peer (write-through
+	// replication; the receiver CRC-verifies before seeding).
+	Replicate(ctx context.Context, node string, frame []byte) error
+	// Ping probes a peer's liveness and load.
+	Ping(ctx context.Context, node string) (Health, error)
+	// Steal asks a peer for one queued job; (nil, nil) means it declined.
+	Steal(ctx context.Context, node string) (*StolenJob, error)
+	// Join announces mem to a peer and returns the peer's member list.
+	Join(ctx context.Context, node string, mem Member) ([]Member, error)
+}

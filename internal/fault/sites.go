@@ -36,4 +36,26 @@ const (
 	SiteDurablePut = "service/durable.put"
 	// SiteDurableLoad fires while loading durable records at boot.
 	SiteDurableLoad = "service/durable.load"
+
+	// SiteClusterForward fires on every inter-node RPC a routing node makes
+	// for a forwarded job (submit, status poll, cancel); a firing is treated
+	// as the owner being unreachable, driving the re-dispatch path — the
+	// fabric's partition model.
+	SiteClusterForward = "cluster/forward"
+	// SiteClusterReplicateSend fires before replicating a fresh result to one
+	// peer (the replica for that peer is dropped; peer fetch or re-compute
+	// must cover).
+	SiteClusterReplicateSend = "cluster/replicate.send"
+	// SiteClusterReplicateRecv fires while applying a received replica; a
+	// firing tears one byte of the frame, which the CRC check must reject.
+	SiteClusterReplicateRecv = "cluster/replicate.recv"
+	// SiteClusterFetch fires on the peer-fetch read path (fetching a durable
+	// record from a peer instead of recomputing).
+	SiteClusterFetch = "cluster/fetch"
+	// SiteClusterHeartbeat fires in the heartbeat loop, skipping that round's
+	// probe of one peer — heartbeat loss without a real partition.
+	SiteClusterHeartbeat = "cluster/heartbeat"
+	// SiteClusterSteal fires on the work-stealing donor path, refusing to
+	// hand out a queued job.
+	SiteClusterSteal = "cluster/steal"
 )

@@ -56,6 +56,18 @@ func (c *resultCache) get(key string) (*sim.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// peek returns the entry for key without counters, recency, or failpoints —
+// the cluster peer-fetch read path, invisible to cache stats.
+func (c *resultCache) peek(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).res, true
+}
+
 // put stores res under key, evicting the least recently used entry over
 // capacity. Writes through to the durable store when one is attached.
 func (c *resultCache) put(key string, res *sim.Result) {

@@ -146,6 +146,18 @@ func (j *Job) ID() string { return j.id }
 // Key returns the job's cache key.
 func (j *Job) Key() string { return j.key }
 
+// Client returns the submitting client's name.
+func (j *Job) Client() string { return j.client }
+
+// Config returns the job's simulation configuration (a copy; the cluster
+// layer forwards it to the owning node).
+func (j *Job) Config() sim.Config { return j.cfg }
+
+// ReportProgress records a progress snapshot observed remotely (the cluster
+// layer polls the owning node and mirrors progress into the local job, which
+// also feeds the hung watchdog's heartbeat).
+func (j *Job) ReportProgress(p sim.Progress) { j.setProgress(p) }
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -246,6 +258,10 @@ func (j *Job) requestCancel() {
 		j.handle.Cancel()
 	}
 }
+
+// CancelRequested reports whether cancellation has been requested — the
+// cluster layer polls it to propagate cancels to the owning node.
+func (j *Job) CancelRequested() bool { return j.cancelRequested() }
 
 // cancelRequested reports whether cancellation has been requested.
 func (j *Job) cancelRequested() bool {

@@ -147,7 +147,12 @@ type Stats struct {
 	Failed     uint64 `json:"failed"`
 	Cancelled  uint64 `json:"cancelled"`
 	Coalesced  uint64 `json:"coalesced"`
-	Retries    uint64 `json:"retries"`
+	// Executed counts simulations actually run to completion on this node —
+	// cache hits, coalesced followers, and replica seeds excluded. Summed
+	// across a fabric it is the dedup ground truth: N identical submissions
+	// must leave exactly one execution behind.
+	Executed uint64 `json:"executed"`
+	Retries  uint64 `json:"retries"`
 	// RetryExhausted counts jobs failed because their panic-retry budget
 	// ran out (see ErrRetriesExhausted).
 	RetryExhausted uint64 `json:"retryExhausted"`
@@ -175,6 +180,11 @@ type Stats struct {
 	// Shards is the per-shard breakdown (queue depth, running, hung) behind
 	// the aggregate numbers above — the emcctl top dashboard's row source.
 	Shards []ShardStat `json:"shards,omitempty"`
+
+	// Nodes is the fabric view when this service runs inside a cluster node
+	// (see SetClusterStats and internal/cluster); empty in single-process
+	// deployments.
+	Nodes []NodeStat `json:"nodes,omitempty"`
 }
 
 // ShardStat is one worker shard's live state.
@@ -205,6 +215,7 @@ type Service struct {
 	failed         atomic.Uint64
 	cancelled      atomic.Uint64
 	coalesced      atomic.Uint64
+	executed       atomic.Uint64
 	retries        atomic.Uint64
 	retryExhausted atomic.Uint64
 	hung           atomic.Int64
@@ -229,6 +240,10 @@ type Service struct {
 	watchStop chan struct{}
 	stopOnce  sync.Once
 	group     *obs.Group
+
+	// Cluster hooks (see cluster.go); nil outside a fabric node.
+	onDone       atomic.Pointer[func(key string, res *sim.Result)]
+	clusterStats atomic.Pointer[func(local *Stats) []NodeStat]
 }
 
 // New builds a Service and starts its workers. It panics if Config.CacheDir
@@ -468,6 +483,7 @@ func (s *Service) Stats() Stats {
 		Failed:     s.failed.Load(),
 		Cancelled:  s.cancelled.Load(),
 		Coalesced:  s.coalesced.Load(),
+		Executed:   s.executed.Load(),
 		Retries:    s.retries.Load(),
 
 		RetryExhausted: s.retryExhausted.Load(),
@@ -495,6 +511,9 @@ func (s *Service) Stats() Stats {
 			Running: int(s.shardRunning[i].Load()),
 			Hung:    int(s.shardHung[i].Load()),
 		}
+	}
+	if fn := s.clusterStats.Load(); fn != nil {
+		st.Nodes = (*fn)(&st)
 	}
 	return st
 }
@@ -710,8 +729,14 @@ func (s *Service) execute(j *Job) {
 		res, err := s.runOnce(j)
 		switch {
 		case err == nil:
+			s.executed.Add(1)
 			if j.cacheable {
 				s.cache.put(j.key, res)
+				if fn := s.onDone.Load(); fn != nil {
+					// Cluster replication hook: a fresh result was actually
+					// computed here (not a cache hit, not a replica seed).
+					(*fn)(j.key, res)
+				}
 			}
 			s.finishJob(j, StateDone, res, nil)
 			return
