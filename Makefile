@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos chaos-cluster kill-smoke cluster-smoke clean
+.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos chaos-cluster kill-smoke cluster-smoke heal-smoke clean
 
 all: build test
 
@@ -54,10 +54,12 @@ chaos:
 
 # Multi-node chaos: 25 seeded fault schedules through a 3-node fabric under
 # the race detector (forwarding/replication/steal failpoints, a network
-# partition window, node kills mid-sweep). Deterministic per seed; see
-# internal/cluster/chaos_cluster_test.go.
+# partition window, node kills mid-sweep), plus 25 self-healing schedules
+# (join mid-sweep, kill-and-restart with anti-entropy backfill, flapping
+# peers through the circuit breakers). Deterministic per seed; see
+# internal/cluster/chaos_cluster_test.go and chaos_heal_test.go.
 chaos-cluster:
-	EMCSIM_CHAOS_SCHEDULES=25 $(GO) test -race -run TestClusterChaosSchedules -count=1 ./internal/cluster/
+	EMCSIM_CHAOS_SCHEDULES=25 $(GO) test -race -run 'TestClusterChaosSchedules|TestClusterHealSchedules' -count=1 ./internal/cluster/
 
 # Crash-recovery smoke: boot emcserve with a durable cache, compute a
 # result, SIGKILL the server mid-sweep, restart it over the same directory,
@@ -72,6 +74,14 @@ kill-smoke:
 # survivors (see scripts/cluster_smoke.sh).
 cluster-smoke:
 	GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# Self-healing smoke: boot a token-authenticated 3-node fabric where one
+# node joins mid-sweep, SIGKILL it mid-flight of a second sweep, restart it
+# over the same durable cache directory, and verify its record set converges
+# byte-for-byte with the survivor via anti-entropy alone (see
+# scripts/heal_smoke.sh).
+heal-smoke:
+	GO="$(GO)" sh scripts/heal_smoke.sh
 
 # Microbenchmark snapshot: every benchmark in the simulator core,
 # interconnect, and DRAM packages, captured as JSON so a later session (or
@@ -95,4 +105,4 @@ experiments:
 
 clean:
 	rm -f BENCH_sim.json results-run.md *.test *.prof
-	rm -rf .smoke .smoke-serve .smoke-dash .smoke-kill .smoke-cluster
+	rm -rf .smoke .smoke-serve .smoke-dash .smoke-kill .smoke-cluster .smoke-heal

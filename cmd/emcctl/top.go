@@ -141,7 +141,7 @@ func renderTop(f *service.StatsFrame, et *etaTracker) string {
 	}
 
 	if len(st.Nodes) > 0 {
-		fmt.Fprintf(&b, "\n%-10s %-6s %7s %8s %5s %6s %9s %6s %6s %8s\n",
+		fmt.Fprintf(&b, "\n%-10s %-8s %7s %8s %5s %6s %9s %6s %6s %8s\n",
 			"NODE", "STATE", "QUEUED", "RUNNING", "HUNG", "FWD", "STOLEN", "REPL", "TORN", "BEAT")
 		for i := range st.Nodes {
 			nd := &st.Nodes[i]
@@ -153,8 +153,16 @@ func renderTop(f *service.StatsFrame, et *etaTracker) string {
 					beat = fmt.Sprintf("%dms", nd.HeartbeatAgeMS)
 				}
 			}
-			fmt.Fprintf(&b, "%-10s %-6s %7d %8d %5d %6d %9s %6d %6d %8s\n",
-				nd.Node, nd.State, nd.Queued, nd.Running, nd.Hung, nd.Forwarded,
+			state := nd.State
+			if nd.Syncing {
+				// Anti-entropy backfill in flight; shown in place of
+				// alive/self (dead and degraded dominate).
+				if state == "alive" || state == "self" {
+					state = "syncing"
+				}
+			}
+			fmt.Fprintf(&b, "%-10s %-8s %7d %8d %5d %6d %9s %6d %6d %8s\n",
+				nd.Node, state, nd.Queued, nd.Running, nd.Hung, nd.Forwarded,
 				fmt.Sprintf("%d/%d", nd.StolenIn, nd.StolenOut), nd.Replicated, nd.ReplTorn, beat)
 		}
 	}

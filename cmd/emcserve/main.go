@@ -70,6 +70,11 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
 	suspect := flag.Duration("suspect-after", 0, "mark peers dead after this much heartbeat silence (0 = 4x heartbeat)")
 	stealThreshold := flag.Int("steal-threshold", 2, "peer queue depth that makes an idle node steal work")
+	antiEntropy := flag.Duration("anti-entropy-interval", 30*time.Second, "anti-entropy digest-exchange cadence (negative = off)")
+	ringWeight := flag.Int("ring-weight", 1, "this node's ring weight (virtual-point multiplier for heterogeneous nodes)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive peer failures that trip the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit duration before a half-open probe (jittered +/-25%)")
+	clusterToken := flag.String("cluster-token", "", "shared bearer token guarding /api/v1/cluster/* (empty = no auth)")
 	flag.Parse()
 
 	if err := fault.EnableFromSpec(os.Getenv("EMCSIM_FAILPOINTS")); err != nil {
@@ -117,13 +122,19 @@ func main() {
 			adv = "http://" + ln.Addr().String()
 		}
 		node = cluster.New(svc, cluster.Options{
-			ID:                *nodeID,
-			Addr:              adv,
-			HeartbeatInterval: *heartbeat,
-			SuspectAfter:      *suspect,
-			StealThreshold:    *stealThreshold,
+			ID:                  *nodeID,
+			Addr:                adv,
+			HeartbeatInterval:   *heartbeat,
+			SuspectAfter:        *suspect,
+			StealThreshold:      *stealThreshold,
+			AntiEntropyInterval: *antiEntropy,
+			Weight:              *ringWeight,
+			BreakerThreshold:    *breakerThreshold,
+			BreakerCooldown:     *breakerCooldown,
 		})
 		tr := cluster.NewHTTPTransport(node.MemberAddr)
+		tr.Token = *clusterToken
+		tr.Self = *nodeID
 		node.SetTransport(tr)
 		for _, p := range strings.Split(*peers, ",") {
 			if p = strings.TrimSpace(p); p == "" {
@@ -136,7 +147,7 @@ func main() {
 			}
 			node.AddMember(cluster.Member{ID: id, Addr: url})
 		}
-		self := cluster.Member{ID: *nodeID, Addr: adv}
+		self := cluster.Member{ID: *nodeID, Addr: adv, Weight: *ringWeight}
 		for _, u := range strings.Split(*join, ",") {
 			if u = strings.TrimSpace(u); u == "" {
 				continue
@@ -155,7 +166,7 @@ func main() {
 		node.Start()
 		fmt.Printf("emcserve: cluster node %s advertising %s (%d members known)\n",
 			*nodeID, adv, len(node.Members()))
-		handler = cluster.NewHandler(node, reg)
+		handler = cluster.NewHandler(node, reg, *clusterToken)
 	}
 
 	srv := &http.Server{Handler: handler}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic flows,
+// failures counted), open (traffic rejected until the reopen deadline),
+// half-open (exactly one probe in flight decides between closed and open).
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one peer's circuit: `threshold` consecutive unreachable
+// failures trip it open, rejecting further RPCs to that peer for a jittered
+// cooldown instead of burning a timeout per call — the graceful-degradation
+// half of DESIGN.md §16. After the cooldown one probe is let through
+// (half-open); success closes the circuit, failure reopens it with fresh
+// jitter. Only unreachable-classified failures count: a peer that answers
+// (even with ErrBusy or a permanent error) is up.
+//
+// The jitter source is seeded from the (self, peer) pair, so a chaos
+// schedule replays the same reopen deadlines — deterministic per seed like
+// everything else in the suite — while distinct nodes still desynchronize
+// their probes against a flapping peer.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    breakerState
+	fails    int  // consecutive unreachable failures while closed
+	probing  bool // half-open: the single probe slot is taken
+	reopenAt time.Time
+	trips    uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, seed uint64) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		rng:       rand.New(rand.NewSource(int64(seed | 1))),
+	}
+}
+
+// allow reports whether an RPC may go out now, claiming the half-open probe
+// slot when the cooldown has elapsed. A false return must be treated as the
+// peer being unreachable (ErrPeerDegraded) without touching the wire.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.reopenAt) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// stalled reports whether the circuit currently rejects traffic, without
+// mutating it — the routing predicate's read-only view. A half-open circuit
+// counts as stalled while its probe is outstanding, so ownership does not
+// flap on the probe's coattails.
+func (b *breaker) stalled(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return now.Before(b.reopenAt) || b.probing
+	case breakerHalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}
+
+// onSuccess closes the circuit (any state) and clears the failure streak.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records one unreachable failure: a closed circuit trips once
+// the streak reaches threshold, a half-open probe failure reopens
+// immediately. The reopen deadline is cooldown × [0.75, 1.25) from the
+// breaker's own deterministic jitter stream.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails < b.threshold {
+			return
+		}
+	case breakerOpen:
+		return // already open; a straggler RPC finished late
+	}
+	b.state = breakerOpen
+	b.fails = 0
+	b.trips++
+	jitter := 0.75 + 0.5*b.rng.Float64()
+	b.reopenAt = now.Add(time.Duration(float64(b.cooldown) * jitter))
+}
+
+// tripCount returns how many times the circuit has opened.
+func (b *breaker) tripCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// Handover failpoint (see internal/fault): handover.ack fires on the
+// receiver after the jobs were accepted, modelling a lost ack — the
+// previous owner reclaims and re-executes locally, and determinism makes
+// the double execution benign.
+var fpHandoverAck = fault.Register(fault.SiteClusterHandoverAck)
+
+// maybeHandover is the join-time rebalancing donor path, called from
+// admitMember when joiner enters the ring: every queued (never running)
+// cacheable job whose key the joiner now owns is handed over, so ownership
+// and placement re-align immediately instead of only for future
+// submissions.
+//
+// The handover state machine mirrors work stealing — the only protocol in
+// the fabric already proven to preserve exactly-one-completion:
+//
+//  1. take the jobs off the local queues (they stay in the job table and
+//     inflight map, so status polls and cluster-wide coalescing still work);
+//  2. register each as a delegation with a reclaim timer BEFORE the RPC, so
+//     a crash of the joiner mid-transfer can never strand a job;
+//  3. send the batch; on any error (including a lost ack) reclaim and
+//     execute locally — the worst case is a benign duplicate execution,
+//     because the result is a pure function of the key.
+//
+// Completion flows back exactly as for stolen jobs: the joiner's replica
+// broadcast resolves the delegation (completeDelegated → FinishStolen), or
+// the reclaim timer fires.
+func (n *Node) maybeHandover(joiner string) {
+	jobs := n.svc.TakeQueuedFor(func(key string) bool {
+		return n.owner(key) == joiner
+	})
+	if len(jobs) == 0 {
+		return
+	}
+	sjs := make([]StolenJob, 0, len(jobs))
+	n.mu.Lock()
+	for _, j := range jobs {
+		j := j
+		n.delegated[j.Key()] = append(n.delegated[j.Key()], delegation{
+			j:     j,
+			timer: time.AfterFunc(n.opts.DelegationTimeout, func() { n.reclaim(j) }),
+		})
+		sjs = append(sjs, StolenJob{Key: j.Key(), Client: j.Client(), Cfg: j.Config()})
+	}
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		err := n.viaBreaker(joiner, func() error {
+			return n.tr.Handover(context.Background(), joiner, HandoverRequest{From: n.id, Jobs: sjs})
+		})
+		if err != nil {
+			// Transfer failed or the ack was lost after acceptance: reclaim
+			// every job now instead of waiting out the delegation timeout.
+			// If the joiner did accept, both sides execute — benign.
+			for _, j := range jobs {
+				n.reclaim(j)
+			}
+			return
+		}
+		n.handedOut.Add(uint64(len(jobs)))
+	}()
+}
+
+// HandleHandover is the receiver side: each handed-over job is re-submitted
+// through the local scheduler, where the usual fast paths apply (a cached
+// result completes it instantly, an identical in-flight job coalesces).
+// Keys are recomputed from the configs and mismatches skipped — the
+// sender's reclaim timer covers anything not accepted. The ack failpoint
+// fires after acceptance so the chaos suite can exercise the
+// both-sides-execute path.
+func (n *Node) HandleHandover(req HandoverRequest) error {
+	for _, sj := range req.Jobs {
+		key, ok := service.CacheKey(&sj.Cfg)
+		if !ok || key != sj.Key {
+			continue
+		}
+		if _, err := n.svc.Submit(req.From+"/"+sj.Client, sj.Cfg); err != nil {
+			continue
+		}
+		n.handedIn.Add(1)
+	}
+	if fpHandoverAck.Fire() {
+		return ErrUnreachable
+	}
+	return nil
+}

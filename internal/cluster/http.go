@@ -3,18 +3,26 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/service"
 )
+
+// peerIDHeader carries the calling node's id on inter-node requests, so the
+// receiver can credit the caller's suspect timer: any successful RPC from a
+// peer is liveness evidence as good as a heartbeat.
+const peerIDHeader = "X-Emc-Node"
 
 // NewHandler wraps the service HTTP API with the fabric protocol. Client
 // submissions (POST /api/v1/jobs) route through the node — so any node
@@ -28,23 +36,59 @@ import (
 //	POST /api/v1/cluster/steal      one StolenJob JSON, or 204 when declined
 //	POST /api/v1/cluster/join       Member JSON -> member list JSON
 //	GET  /api/v1/cluster/members    member list JSON
+//	GET  /api/v1/cluster/digest     anti-entropy Digest JSON
+//	GET  /api/v1/cluster/keys       ?bucket=N -> key list JSON
+//	POST /api/v1/cluster/handover   HandoverRequest JSON
+//
+// A non-empty token shields every /api/v1/cluster/* endpoint behind a
+// shared bearer token (constant-time compare, 401 on mismatch, rejections
+// counted in the emcsim_cluster_auth_rejected gauge). The client-facing
+// endpoints stay open — the token authenticates nodes to each other, not
+// users to the service.
 //
 // Everything else (status, results, stats, trace, metrics) falls through to
 // the wrapped service handler unchanged.
-func NewHandler(n *Node, reg *obs.Registry) http.Handler {
+func NewHandler(n *Node, reg *obs.Registry, token string) http.Handler {
 	inner := service.NewHandler(n.Service(), reg)
+	var rejected atomic.Uint64
+	var authGroup *obs.Group
+	if reg != nil {
+		authGroup = reg.NewGroup(map[string]string{"component": "cluster"}, []string{"cluster_auth_rejected"})
+	}
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if token != "" {
+				want := "Bearer " + token
+				if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte(want)) != 1 {
+					cnt := rejected.Add(1)
+					if authGroup != nil {
+						authGroup.Publish([]float64{float64(cnt)})
+					}
+					httpJSON(w, http.StatusUnauthorized, httpError{Error: "cluster: invalid or missing cluster token"})
+					return
+				}
+			}
+			if peer := r.Header.Get(peerIDHeader); peer != "" {
+				n.MarkPeerSeen(peer)
+			}
+			h(w, r)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", inner)
 	mux.HandleFunc("POST /api/v1/jobs", n.httpSubmit)
-	mux.HandleFunc("POST /api/v1/cluster/submit", n.httpClusterSubmit)
-	mux.HandleFunc("GET /api/v1/cluster/record", n.httpRecord)
-	mux.HandleFunc("POST /api/v1/cluster/replicate", n.httpReplicate)
-	mux.HandleFunc("GET /api/v1/cluster/ping", n.httpPing)
-	mux.HandleFunc("POST /api/v1/cluster/steal", n.httpSteal)
-	mux.HandleFunc("POST /api/v1/cluster/join", n.httpJoin)
-	mux.HandleFunc("GET /api/v1/cluster/members", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /api/v1/cluster/submit", guard(n.httpClusterSubmit))
+	mux.HandleFunc("GET /api/v1/cluster/record", guard(n.httpRecord))
+	mux.HandleFunc("POST /api/v1/cluster/replicate", guard(n.httpReplicate))
+	mux.HandleFunc("GET /api/v1/cluster/ping", guard(n.httpPing))
+	mux.HandleFunc("POST /api/v1/cluster/steal", guard(n.httpSteal))
+	mux.HandleFunc("POST /api/v1/cluster/join", guard(n.httpJoin))
+	mux.HandleFunc("GET /api/v1/cluster/members", guard(func(w http.ResponseWriter, _ *http.Request) {
 		httpJSON(w, http.StatusOK, n.Members())
-	})
+	}))
+	mux.HandleFunc("GET /api/v1/cluster/digest", guard(n.httpDigest))
+	mux.HandleFunc("GET /api/v1/cluster/keys", guard(n.httpKeys))
+	mux.HandleFunc("POST /api/v1/cluster/handover", guard(n.httpHandover))
 	return mux
 }
 
@@ -166,6 +210,38 @@ func (n *Node) httpJoin(w http.ResponseWriter, r *http.Request) {
 	httpJSON(w, http.StatusOK, n.HandleJoin(mem))
 }
 
+func (n *Node) httpDigest(w http.ResponseWriter, _ *http.Request) {
+	httpJSON(w, http.StatusOK, n.HandleDigest())
+}
+
+func (n *Node) httpKeys(w http.ResponseWriter, r *http.Request) {
+	bucket, err := strconv.Atoi(r.URL.Query().Get("bucket"))
+	if err != nil || bucket < 0 || bucket >= digestBuckets {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: "bad bucket"})
+		return
+	}
+	keys := n.HandleKeys(bucket)
+	if keys == nil {
+		keys = []string{}
+	}
+	httpJSON(w, http.StatusOK, keys)
+}
+
+func (n *Node) httpHandover(w http.ResponseWriter, r *http.Request) {
+	var req HandoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if err := n.HandleHandover(req); err != nil {
+		// The only handler-side failure is the injected lost ack; report it
+		// as unavailability so the sender's breaker and reclaim kick in.
+		httpJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		return
+	}
+	httpJSON(w, http.StatusOK, struct{}{})
+}
+
 // ---------------------------------------------------------------------------
 // HTTP transport (the dialing side).
 
@@ -179,6 +255,12 @@ type HTTPTransport struct {
 	Client *http.Client
 	// Resolve maps a node id to its advertised base URL.
 	Resolve func(node string) (string, bool)
+	// Token, when non-empty, is sent as a bearer token on every request —
+	// the counterpart of the handler's -cluster-token guard.
+	Token string
+	// Self is this node's id, announced in the peer-id header so receivers
+	// credit our suspect timer on any successful RPC.
+	Self string
 }
 
 // NewHTTPTransport builds the transport with resolve as its address book.
@@ -208,6 +290,12 @@ func (t *HTTPTransport) do(ctx context.Context, method, url, contentType string,
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if t.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+t.Token)
+	}
+	if t.Self != "" {
+		req.Header.Set(peerIDHeader, t.Self)
 	}
 	resp, err := t.Client.Do(req)
 	if err != nil {
@@ -341,6 +429,43 @@ func (t *HTTPTransport) Join(ctx context.Context, node string, mem Member) ([]Me
 		return nil, err
 	}
 	return t.JoinAddr(ctx, base, mem)
+}
+
+func (t *HTTPTransport) Digest(ctx context.Context, node string) (Digest, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return Digest{}, err
+	}
+	var d Digest
+	if _, err := t.do(ctx, http.MethodGet, base+"/api/v1/cluster/digest", "", nil, &d); err != nil {
+		return Digest{}, err
+	}
+	return d, nil
+}
+
+func (t *HTTPTransport) Keys(ctx context.Context, node string, bucket int) ([]string, error) {
+	base, err := t.base(node)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	if _, err := t.do(ctx, http.MethodGet, base+"/api/v1/cluster/keys?bucket="+strconv.Itoa(bucket), "", nil, &keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+func (t *HTTPTransport) Handover(ctx context.Context, node string, req HandoverRequest) error {
+	base, err := t.base(node)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	_, err = t.do(ctx, http.MethodPost, base+"/api/v1/cluster/handover", "application/json", body, nil)
+	return err
 }
 
 // JoinAddr announces mem to the fabric member at baseURL directly — the

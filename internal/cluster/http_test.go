@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -27,13 +28,21 @@ type httpNode struct {
 }
 
 func startHTTPNode(t *testing.T, id string) *httpNode {
+	return startHTTPNodeAuth(t, id, "")
+}
+
+// startHTTPNodeAuth is startHTTPNode with a shared cluster token: the
+// handler guards /api/v1/cluster/* and the node's own transport presents
+// the token, exactly like emcserve -cluster-token wires it.
+func startHTTPNodeAuth(t *testing.T, id, token string) *httpNode {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	url := "http://" + ln.Addr().String()
-	svc, err := service.Open(service.Config{Workers: 2, QueueCap: 64})
+	reg := obs.NewRegistry()
+	svc, err := service.Open(service.Config{Workers: 2, QueueCap: 64, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,8 +53,11 @@ func startHTTPNode(t *testing.T, id string) *httpNode {
 		SuspectAfter:      60 * time.Millisecond,
 		PollInterval:      2 * time.Millisecond,
 	})
-	n.SetTransport(cluster.NewHTTPTransport(n.MemberAddr))
-	srv := &http.Server{Handler: cluster.NewHandler(n, nil)}
+	tr := cluster.NewHTTPTransport(n.MemberAddr)
+	tr.Token = token
+	tr.Self = id
+	n.SetTransport(tr)
+	srv := &http.Server{Handler: cluster.NewHandler(n, reg, token)}
 	go srv.Serve(ln) //nolint:errcheck // closed by cleanup
 	t.Cleanup(func() {
 		n.Close()
@@ -268,5 +280,110 @@ func TestHTTPTransportErrorClassification(t *testing.T) {
 	}
 	if c := a.node.Counters(); c.ReplTorn != 1 {
 		t.Fatalf("torn counter %d, want 1", c.ReplTorn)
+	}
+}
+
+// TestHTTPClusterAuth: with -cluster-token set, every inter-node endpoint
+// rejects missing and wrong tokens with 401 (counted in the Prometheus
+// gauge), accepts the right bearer token, and leaves the client-facing
+// API open. Two token-bearing nodes still form a working fabric.
+func TestHTTPClusterAuth(t *testing.T) {
+	fault.DisableAll()
+	const token = "sweep-fabric-secret"
+	a := startHTTPNodeAuth(t, "a", token)
+	b := startHTTPNodeAuth(t, "b", token)
+
+	get := func(path, auth string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, a.url+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	guarded := []string{
+		"/api/v1/cluster/members",
+		"/api/v1/cluster/ping",
+		"/api/v1/cluster/digest",
+		"/api/v1/cluster/keys?bucket=0",
+		"/api/v1/cluster/record?key=x",
+	}
+	for _, path := range guarded {
+		if code := get(path, ""); code != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: %d, want 401", path, code)
+		}
+		if code := get(path, "Bearer wrong-token"); code != http.StatusUnauthorized {
+			t.Errorf("GET %s with wrong token: %d, want 401", path, code)
+		}
+	}
+	if code := get("/api/v1/cluster/members", "Bearer "+token); code != http.StatusOK {
+		t.Fatalf("GET members with the right token: %d, want 200", code)
+	}
+	// The client-facing API is not behind the token.
+	for _, path := range []string{"/api/v1/stats", "/healthz"} {
+		if code := get(path, ""); code != http.StatusOK {
+			t.Errorf("GET %s (client API) without token: %d, want 200", path, code)
+		}
+	}
+
+	// The rejections reached the Prometheus gauge.
+	resp, err := http.Get(a.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(metrics, []byte("emcsim_cluster_auth_rejected")) {
+		t.Fatal("auth_rejected gauge missing from /metrics")
+	}
+
+	// A transport without the token is shut out with a permanent error (the
+	// endpoint answered, so this must NOT classify as unreachable — a
+	// misconfigured token must not read as a network partition).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	bare := cluster.NewHTTPTransport(func(id string) (string, bool) {
+		if id == "a" {
+			return a.url, true
+		}
+		return "", false
+	})
+	if _, err := bare.Ping(ctx, "a"); err == nil || err == cluster.ErrUnreachable {
+		t.Fatalf("unauthenticated ping classified %v, want permanent error", err)
+	}
+
+	// Token-bearing nodes still form a fabric: join b through a and let the
+	// authenticated heartbeats converge membership.
+	authed := cluster.NewHTTPTransport(func(string) (string, bool) { return "", false })
+	authed.Token = token
+	authed.Self = "b"
+	members, err := authed.JoinAddr(ctx, a.url, cluster.Member{ID: "b", Addr: b.url})
+	if err != nil {
+		t.Fatalf("authenticated join: %v", err)
+	}
+	for _, m := range members {
+		b.node.AddMember(m)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range []*httpNode{a, b} {
+		for len(n.node.Members()) < 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("authed membership never converged on %s", n.node.ID())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 }

@@ -96,6 +96,19 @@ type localConn struct {
 	from string
 }
 
+// conn resolves the target node and, since a delivered RPC is proof the
+// caller is up, resets the receiver's suspect timer for the caller — the
+// local-transport form of "any successful RPC from a peer counts as a
+// heartbeat".
+func (c *localConn) conn(node string) (*Node, error) {
+	n, err := c.lt.reach(c.from, node)
+	if err != nil {
+		return nil, err
+	}
+	n.MarkPeerSeen(c.from)
+	return n, nil
+}
+
 // mapLocalErr converts receiver-side service errors into transport-level
 // classifications (what an HTTP status code would have carried).
 func mapLocalErr(err error) error {
@@ -112,7 +125,7 @@ func mapLocalErr(err error) error {
 }
 
 func (c *localConn) Submit(ctx context.Context, node string, req SubmitRequest) (service.Status, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return service.Status{}, err
 	}
@@ -124,7 +137,7 @@ func (c *localConn) Submit(ctx context.Context, node string, req SubmitRequest) 
 }
 
 func (c *localConn) Status(ctx context.Context, node, jobID string) (service.Status, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return service.Status{}, err
 	}
@@ -132,7 +145,7 @@ func (c *localConn) Status(ctx context.Context, node, jobID string) (service.Sta
 }
 
 func (c *localConn) Cancel(ctx context.Context, node, jobID string) error {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return err
 	}
@@ -140,7 +153,7 @@ func (c *localConn) Cancel(ctx context.Context, node, jobID string) error {
 }
 
 func (c *localConn) Fetch(ctx context.Context, node, key string) ([]byte, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +161,7 @@ func (c *localConn) Fetch(ctx context.Context, node, key string) ([]byte, error)
 }
 
 func (c *localConn) Replicate(ctx context.Context, node string, frame []byte) error {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return err
 	}
@@ -156,7 +169,7 @@ func (c *localConn) Replicate(ctx context.Context, node string, frame []byte) er
 }
 
 func (c *localConn) Ping(ctx context.Context, node string) (Health, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return Health{}, err
 	}
@@ -164,7 +177,7 @@ func (c *localConn) Ping(ctx context.Context, node string) (Health, error) {
 }
 
 func (c *localConn) Steal(ctx context.Context, node string) (*StolenJob, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return nil, err
 	}
@@ -172,11 +185,35 @@ func (c *localConn) Steal(ctx context.Context, node string) (*StolenJob, error) 
 }
 
 func (c *localConn) Join(ctx context.Context, node string, mem Member) ([]Member, error) {
-	n, err := c.lt.reach(c.from, node)
+	n, err := c.conn(node)
 	if err != nil {
 		return nil, err
 	}
 	return n.HandleJoin(mem), nil
+}
+
+func (c *localConn) Digest(ctx context.Context, node string) (Digest, error) {
+	n, err := c.conn(node)
+	if err != nil {
+		return Digest{}, err
+	}
+	return n.HandleDigest(), nil
+}
+
+func (c *localConn) Keys(ctx context.Context, node string, bucket int) ([]string, error) {
+	n, err := c.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleKeys(bucket), nil
+}
+
+func (c *localConn) Handover(ctx context.Context, node string, req HandoverRequest) error {
+	n, err := c.conn(node)
+	if err != nil {
+		return err
+	}
+	return n.HandleHandover(req)
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +269,7 @@ func NewFabric(fc FabricConfig) (*Fabric, error) {
 	for _, n := range f.Nodes {
 		for _, m := range f.Nodes {
 			if n != m {
-				n.AddMember(Member{ID: m.ID()})
+				n.AddMember(m.selfMember())
 			}
 		}
 	}
@@ -240,6 +277,71 @@ func NewFabric(fc FabricConfig) (*Fabric, error) {
 		n.Start()
 	}
 	return f, nil
+}
+
+// AddNode grows a running fabric: it builds "node<len>" with the given
+// service config and options, starts it, and joins it through the first
+// surviving member — which triggers gossip and the join-time handover of
+// queued keys the newcomer now owns.
+func (f *Fabric) AddNode(scfg service.Config, opts Options) (*Node, error) {
+	i := len(f.Nodes)
+	svc, err := service.Open(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fabric node %d: %w", i, err)
+	}
+	opts.ID = fmt.Sprintf("node%d", i)
+	n := New(svc, opts)
+	f.Transport.Attach(n)
+	f.svcs = append(f.svcs, svc)
+	f.Nodes = append(f.Nodes, n)
+	f.killed = append(f.killed, false)
+	n.Start()
+	if seed := f.seedFor(i); seed != "" {
+		if err := n.JoinVia(context.Background(), seed); err != nil {
+			return n, fmt.Errorf("cluster: fabric node %d join: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// Restart revives a previously killed slot with a fresh service and node
+// under the same id — the crash-recovery model. The restarted node rejoins
+// through a surviving member; peers that marked it dead revive it on their
+// next successful probe, and anti-entropy backfills whatever its durable
+// cache missed while down (point scfg at the same cache directory to model
+// a restart with surviving disk state).
+func (f *Fabric) Restart(i int, scfg service.Config, opts Options) (*Node, error) {
+	if !f.killed[i] {
+		return f.Nodes[i], nil
+	}
+	svc, err := service.Open(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fabric node %d restart: %w", i, err)
+	}
+	opts.ID = fmt.Sprintf("node%d", i)
+	n := New(svc, opts)
+	f.Transport.Attach(n) // replaces the dead instance under the same id
+	f.svcs[i] = svc
+	f.Nodes[i] = n
+	f.killed[i] = false
+	f.Transport.Revive(n.ID())
+	n.Start()
+	if seed := f.seedFor(i); seed != "" {
+		if err := n.JoinVia(context.Background(), seed); err != nil {
+			return n, fmt.Errorf("cluster: fabric node %d rejoin: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// seedFor picks the first surviving member other than slot i.
+func (f *Fabric) seedFor(i int) string {
+	for j, m := range f.Nodes {
+		if j != i && !f.killed[j] {
+			return m.ID()
+		}
+	}
+	return ""
 }
 
 // Kill models a node crash: unreachable on the wire, then its service is

@@ -58,6 +58,19 @@ type Options struct {
 	// ReplQueue sizes the asynchronous replication queue (default 256;
 	// overflow drops the broadcast — peer fetch covers the gap).
 	ReplQueue int
+	// AntiEntropyInterval is the cadence of the anti-entropy loop: each tick
+	// exchanges digests with one live peer round-robin and backfills missing
+	// durable records (default 30s; negative disables the loop).
+	AntiEntropyInterval time.Duration
+	// Weight is this node's ring weight — the virtual-point multiplier for
+	// heterogeneous fabrics (default 1).
+	Weight int
+	// BreakerThreshold is the consecutive unreachable-failure count that
+	// trips a peer's circuit breaker open (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is the base open-circuit duration before a half-open
+	// probe; the actual reopen delay is jittered ±25% (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (o *Options) defaults() {
@@ -88,6 +101,18 @@ func (o *Options) defaults() {
 	if o.ReplQueue <= 0 {
 		o.ReplQueue = 256
 	}
+	if o.AntiEntropyInterval == 0 {
+		o.AntiEntropyInterval = 30 * time.Second
+	}
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 }
 
 // delegation is one queued job handed to a thief, with its reclaim timer.
@@ -111,6 +136,10 @@ type Counters struct {
 	StolenIn      uint64 // jobs stolen from victims and run here
 	StolenOut     uint64 // queued jobs handed out to thieves
 	Reclaimed     uint64 // delegations reclaimed after thief silence
+	Backfilled    uint64 // records backfilled via anti-entropy sync
+	HandedOut     uint64 // queued jobs handed to a joining owner
+	HandedIn      uint64 // queued jobs accepted from previous owners
+	BreakerTrips  uint64 // circuit-breaker opens, summed over peers
 }
 
 // Node is one fabric member: a service.Service plus the routing, steal,
@@ -129,6 +158,11 @@ type Node struct {
 	mu        sync.Mutex
 	delegated map[string][]delegation
 	health    map[string]Health // last heartbeat payload per peer
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker // per-peer circuit breakers
+
+	syncing atomic.Bool // anti-entropy backfill in progress
 
 	replCh   chan []byte
 	stop     chan struct{}
@@ -149,6 +183,9 @@ type Node struct {
 	stolenIn      atomic.Uint64
 	stolenOut     atomic.Uint64
 	reclaimed     atomic.Uint64
+	backfilled    atomic.Uint64
+	handedOut     atomic.Uint64
+	handedIn      atomic.Uint64
 }
 
 // New builds a node around svc. The node installs itself into the service's
@@ -164,11 +201,12 @@ func New(svc *service.Service, opts Options) *Node {
 		members:   newMembership(),
 		delegated: map[string][]delegation{},
 		health:    map[string]Health{},
+		breakers:  map[string]*breaker{},
 		replCh:    make(chan []byte, opts.ReplQueue),
 		stop:      make(chan struct{}),
 	}
-	n.ring.Add(n.id)
-	n.members.upsert(Member{ID: n.id, Addr: opts.Addr}, true, time.Now())
+	n.ring.AddWeighted(n.id, opts.Weight)
+	n.members.upsert(n.selfMember(), true, time.Now())
 	svc.SetClusterStats(n.nodeStats)
 	svc.SetOnDone(n.onLocalDone)
 	return n
@@ -184,15 +222,58 @@ func (n *Node) Service() *service.Service { return n.svc }
 // before Start.
 func (n *Node) SetTransport(tr Transport) { n.tr = tr }
 
+// selfMember is this node's identity as announced through joins: id,
+// advertised address, and ring weight (gossip carries the weight so every
+// node builds the same weighted ring).
+func (n *Node) selfMember() Member {
+	return Member{ID: n.id, Addr: n.opts.Addr, Weight: n.opts.Weight}
+}
+
 // AddMember registers a peer on the ring and in the membership table.
 // Idempotent; safe while running (joins arrive concurrently).
-func (n *Node) AddMember(mem Member) {
+func (n *Node) AddMember(mem Member) { n.admitMember(mem) }
+
+// admitMember is the single funnel every membership source goes through
+// (static config, self-join, gossip). A genuinely new member extends the
+// ring at its announced weight and triggers the join-time handover of
+// queued jobs whose keys the newcomer now owns. Returns true only for new
+// members — the gossip-convergence signal.
+func (n *Node) admitMember(mem Member) bool {
 	if mem.ID == "" || mem.ID == n.id {
+		return false
+	}
+	if !n.members.upsert(mem, false, time.Now()) {
+		return false
+	}
+	n.ring.AddWeighted(mem.ID, mem.Weight)
+	n.maybeHandover(mem.ID)
+	return true
+}
+
+// JoinVia announces this node to seed (a member id the transport can reach)
+// and adopts every member the seed reports — the programmatic join used by
+// fabric tests and by nodes entering a running cluster.
+func (n *Node) JoinVia(ctx context.Context, seed string) error {
+	mems, err := n.tr.Join(ctx, seed, n.selfMember())
+	if err != nil {
+		return err
+	}
+	for _, m := range mems {
+		n.AddMember(m)
+	}
+	return nil
+}
+
+// MarkPeerSeen records inbound evidence of a peer's liveness: any
+// successful RPC *from* id (a replica delivered, a forward, a steal) resets
+// its suspect timer, so a busy-but-healthy peer whose heartbeats are
+// delayed is not marked dead while it is demonstrably doing work. Unknown
+// ids are ignored (membership is join-driven).
+func (n *Node) MarkPeerSeen(id string) {
+	if id == "" || id == n.id {
 		return
 	}
-	if n.members.upsert(mem, false, time.Now()) {
-		n.ring.Add(mem.ID)
-	}
+	n.members.markAlive(id, time.Now())
 }
 
 // MemberAddr resolves a member id to its advertised address (the HTTP
@@ -218,10 +299,14 @@ func (n *Node) Counters() Counters {
 		StolenIn:      n.stolenIn.Load(),
 		StolenOut:     n.stolenOut.Load(),
 		Reclaimed:     n.reclaimed.Load(),
+		Backfilled:    n.backfilled.Load(),
+		HandedOut:     n.handedOut.Load(),
+		HandedIn:      n.handedIn.Load(),
+		BreakerTrips:  n.breakerTrips(),
 	}
 }
 
-// Start launches the heartbeat and replication loops.
+// Start launches the heartbeat, replication, and anti-entropy loops.
 func (n *Node) Start() {
 	if n.started {
 		return
@@ -230,6 +315,10 @@ func (n *Node) Start() {
 	n.wg.Add(2)
 	go n.heartbeats()
 	go n.replicator()
+	if n.opts.AntiEntropyInterval > 0 {
+		n.wg.Add(1)
+		go n.antiEntropy()
+	}
 }
 
 // Close stops the loops and synchronously reclaims every outstanding
@@ -288,13 +377,76 @@ func (n *Node) Run(ctx context.Context, client string, cfg sim.Config) (*sim.Res
 	return j.Wait(ctx)
 }
 
-// owner is the ring owner of key among members not currently marked dead;
-// self is never dead, so it always resolves.
+// owner is the ring owner of key among members that are neither marked dead
+// nor currently degraded (circuit breaker open); self is never rejected, so
+// it always resolves. Skipping degraded peers is the graceful-degradation
+// rule: a flapping owner's keys fall to the next live node immediately
+// instead of burning MaxHops timeouts per routed job.
 func (n *Node) owner(key string) string {
-	if o := n.ring.Owner(key, n.members.isDead); o != "" {
+	if o := n.ring.Owner(key, n.peerUnavailable); o != "" {
 		return o
 	}
 	return n.id
+}
+
+// peerUnavailable is the routing liveness predicate: dead or degraded.
+func (n *Node) peerUnavailable(id string) bool {
+	if id == n.id {
+		return false
+	}
+	return n.members.isDead(id) || n.breakerStalled(id)
+}
+
+// breakerFor returns (creating on first use) the circuit breaker for peer.
+func (n *Node) breakerFor(peer string) *breaker {
+	n.brMu.Lock()
+	defer n.brMu.Unlock()
+	b, ok := n.breakers[peer]
+	if !ok {
+		b = newBreaker(n.opts.BreakerThreshold, n.opts.BreakerCooldown, ringHash(n.id+"/"+peer))
+		n.breakers[peer] = b
+	}
+	return b
+}
+
+// breakerStalled reports whether peer's circuit currently rejects traffic.
+func (n *Node) breakerStalled(peer string) bool {
+	n.brMu.Lock()
+	b, ok := n.breakers[peer]
+	n.brMu.Unlock()
+	return ok && b.stalled(time.Now())
+}
+
+// breakerTrips sums circuit opens over all peers.
+func (n *Node) breakerTrips() uint64 {
+	n.brMu.Lock()
+	defer n.brMu.Unlock()
+	var total uint64
+	for _, b := range n.breakers {
+		total += b.tripCount()
+	}
+	return total
+}
+
+// viaBreaker routes one outbound RPC to peer through its circuit breaker:
+// an open circuit short-circuits to ErrPeerDegraded without touching the
+// wire; unreachable-classified failures feed the breaker; any answer —
+// including ErrBusy and permanent errors — closes it and, because an
+// answered RPC is liveness evidence as good as a heartbeat, resets the
+// peer's suspect timer.
+func (n *Node) viaBreaker(peer string, fn func() error) error {
+	b := n.breakerFor(peer)
+	if !b.allow(time.Now()) {
+		return ErrPeerDegraded
+	}
+	err := fn()
+	if isUnreachable(err) {
+		b.onFailure(time.Now())
+		return err
+	}
+	b.onSuccess()
+	n.members.markAlive(peer, time.Now())
+	return err
 }
 
 // routeJob drives a routed job to a terminal state: forward to the owner,
@@ -407,30 +559,47 @@ func (n *Node) failOver(owner, key string) string {
 }
 
 // rpcSubmit/rpcStatus/rpcCancel wrap the routing RPCs with the forward
-// failpoint: a firing is indistinguishable from a partition.
+// failpoint and the per-peer circuit breaker: a failpoint firing is
+// indistinguishable from a partition, and — because it fires inside the
+// breaker — consecutive firings trip the circuit exactly like real
+// unreachability would.
 func (n *Node) rpcSubmit(ctx context.Context, node string, req SubmitRequest) (service.Status, error) {
-	if fpForward.Fire() {
-		return service.Status{}, ErrUnreachable
-	}
-	return n.tr.Submit(ctx, node, req)
+	var st service.Status
+	err := n.viaBreaker(node, func() error {
+		if fpForward.Fire() {
+			return ErrUnreachable
+		}
+		var err error
+		st, err = n.tr.Submit(ctx, node, req)
+		return err
+	})
+	return st, err
 }
 
 func (n *Node) rpcStatus(ctx context.Context, node, jobID string) (service.Status, error) {
-	if fpForward.Fire() {
-		return service.Status{}, ErrUnreachable
-	}
-	return n.tr.Status(ctx, node, jobID)
+	var st service.Status
+	err := n.viaBreaker(node, func() error {
+		if fpForward.Fire() {
+			return ErrUnreachable
+		}
+		var err error
+		st, err = n.tr.Status(ctx, node, jobID)
+		return err
+	})
+	return st, err
 }
 
 func (n *Node) rpcCancel(ctx context.Context, node, jobID string) error {
-	if fpForward.Fire() {
-		return ErrUnreachable
-	}
-	return n.tr.Cancel(ctx, node, jobID)
+	return n.viaBreaker(node, func() error {
+		if fpForward.Fire() {
+			return ErrUnreachable
+		}
+		return n.tr.Cancel(ctx, node, jobID)
+	})
 }
 
 func isUnreachable(err error) bool {
-	return err == ErrUnreachable || err == service.ErrDraining
+	return err == ErrUnreachable || err == ErrPeerDegraded || err == service.ErrDraining
 }
 
 // ---------------------------------------------------------------------------
@@ -470,7 +639,11 @@ func (n *Node) broadcast(frame []byte) {
 		if fpReplSend.Fire() {
 			continue
 		}
-		if err := n.tr.Replicate(context.Background(), p.ID, frame); err == nil {
+		peer := p.ID
+		err := n.viaBreaker(peer, func() error {
+			return n.tr.Replicate(context.Background(), peer, frame)
+		})
+		if err == nil {
 			n.replSent.Add(1)
 		}
 	}
@@ -479,10 +652,15 @@ func (n *Node) broadcast(frame []byte) {
 // fetchRecord pulls the durable frame for key from one peer, CRC-verifies
 // it, and seeds the local cache on success.
 func (n *Node) fetchRecord(ctx context.Context, node, key string) (*sim.Result, bool) {
-	if fpFetch.Fire() {
-		return nil, false
-	}
-	frame, err := n.tr.Fetch(ctx, node, key)
+	var frame []byte
+	err := n.viaBreaker(node, func() error {
+		if fpFetch.Fire() {
+			return ErrUnreachable
+		}
+		var err error
+		frame, err = n.tr.Fetch(ctx, node, key)
+		return err
+	})
 	if err != nil {
 		return nil, false
 	}
@@ -573,10 +751,13 @@ func (n *Node) HandleReplicate(frame []byte) error {
 	return nil
 }
 
-// HandlePing answers a heartbeat with this node's load.
+// HandlePing answers a heartbeat with this node's load and sync state.
 func (n *Node) HandlePing() Health {
 	st := n.svc.Stats()
-	return Health{ID: n.id, Queued: st.QueueDepth, Running: st.Running, Hung: st.Hung}
+	return Health{
+		ID: n.id, Queued: st.QueueDepth, Running: st.Running, Hung: st.Hung,
+		Syncing: n.syncing.Load(),
+	}
 }
 
 // HandleSteal hands one queued job to a thief, arming the reclaim timer: if
@@ -606,8 +787,11 @@ func (n *Node) HandleSteal() (*StolenJob, error) {
 // every existing node learns of the newcomer. Idempotent upserts make the
 // gossip converge.
 func (n *Node) HandleJoin(mem Member) []Member {
-	if mem.ID != "" && mem.ID != n.id && n.members.upsert(mem, false, time.Now()) {
-		n.ring.Add(mem.ID)
+	// A join announcement is first-hand liveness: a restarted member that
+	// re-announces itself comes back from the dead here, not only when its
+	// next heartbeat lands.
+	n.MarkPeerSeen(mem.ID)
+	if n.admitMember(mem) {
 		peers := n.members.alivePeers(n.id)
 		n.wg.Add(1)
 		go func() {
@@ -616,7 +800,11 @@ func (n *Node) HandleJoin(mem Member) []Member {
 				if p.ID == mem.ID {
 					continue
 				}
-				_, _ = n.tr.Join(context.Background(), p.ID, mem)
+				peer := p.ID
+				_ = n.viaBreaker(peer, func() error {
+					_, err := n.tr.Join(context.Background(), peer, mem)
+					return err
+				})
 			}
 		}()
 	}
@@ -686,13 +874,20 @@ func (n *Node) heartbeatRound() {
 		if fpHeartbeat.Fire() {
 			continue
 		}
-		h, err := n.tr.Ping(context.Background(), p.ID)
+		peer := p.ID
+		var h Health
+		err := n.viaBreaker(peer, func() error {
+			var err error
+			h, err = n.tr.Ping(context.Background(), peer)
+			return err
+		})
 		if err != nil {
+			// An open breaker suppresses the probe entirely; once the
+			// cooldown elapses this same loop becomes the half-open probe.
 			continue
 		}
-		n.members.markAlive(p.ID, time.Now())
 		n.mu.Lock()
-		n.health[p.ID] = h
+		n.health[peer] = h
 		n.mu.Unlock()
 	}
 	n.members.sweep(time.Now(), n.opts.SuspectAfter)
@@ -709,7 +904,7 @@ func (n *Node) maybeSteal() {
 	victim, best := "", n.opts.StealThreshold-1
 	n.mu.Lock()
 	for id, h := range n.health {
-		if h.Queued > best && !n.members.isDead(id) {
+		if h.Queued > best && !n.peerUnavailable(id) {
 			victim, best = id, h.Queued
 		}
 	}
@@ -717,7 +912,12 @@ func (n *Node) maybeSteal() {
 	if victim == "" {
 		return
 	}
-	sj, err := n.tr.Steal(context.Background(), victim)
+	var sj *StolenJob
+	err := n.viaBreaker(victim, func() error {
+		var err error
+		sj, err = n.tr.Steal(context.Background(), victim)
+		return err
+	})
 	if err != nil || sj == nil {
 		return
 	}
@@ -739,7 +939,10 @@ func (n *Node) runStolen(victim string, sj *StolenJob) {
 	if err != nil {
 		return
 	}
-	if err := n.tr.Replicate(context.Background(), victim, frame); err == nil {
+	err = n.viaBreaker(victim, func() error {
+		return n.tr.Replicate(context.Background(), victim, frame)
+	})
+	if err == nil {
 		n.replSent.Add(1)
 	}
 }
@@ -750,6 +953,7 @@ func (n *Node) nodeStats(local *service.Stats) []service.NodeStat {
 	rows := []service.NodeStat{{
 		Node: n.id, Addr: n.opts.Addr, State: "self",
 		Queued: local.QueueDepth, Running: local.Running, Hung: local.Hung,
+		Syncing:      n.syncing.Load(),
 		Forwarded:    n.forwarded.Load(),
 		Redispatched: n.redispatched.Load(),
 		StolenIn:     n.stolenIn.Load(),
@@ -757,12 +961,21 @@ func (n *Node) nodeStats(local *service.Stats) []service.NodeStat {
 		Replicated:   n.replRecv.Load(),
 		ReplTorn:     n.replTorn.Load(),
 		Fetched:      n.fetched.Load(),
+		Backfilled:   n.backfilled.Load(),
+		HandedOut:    n.handedOut.Load(),
+		HandedIn:     n.handedIn.Load(),
+		BreakerTrips: n.breakerTrips(),
 	}}
 	now := time.Now()
 	for _, m := range n.members.rows(n.id) {
 		row := service.NodeStat{Node: m.ID, Addr: m.Addr, State: "alive", HeartbeatAgeMS: -1}
-		if !m.Alive {
+		switch {
+		case !m.Alive:
 			row.State = "dead"
+		case n.breakerStalled(m.ID):
+			// Alive (heartbeats still land or the suspect window has not
+			// elapsed) but the circuit is open: degraded, routed around.
+			row.State = "degraded"
 		}
 		if !m.LastBeat.IsZero() {
 			row.HeartbeatAgeMS = now.Sub(m.LastBeat).Milliseconds()
@@ -770,6 +983,7 @@ func (n *Node) nodeStats(local *service.Stats) []service.NodeStat {
 		n.mu.Lock()
 		if h, ok := n.health[m.ID]; ok {
 			row.Queued, row.Running, row.Hung = h.Queued, h.Running, h.Hung
+			row.Syncing = h.Syncing
 		}
 		n.mu.Unlock()
 		rows = append(rows, row)

@@ -21,15 +21,16 @@ import (
 )
 
 // Ring is the consistent-hash ring: each node contributes `replicas`
-// virtual points (FNV-64a of "id#i"), a key belongs to the first point at
-// or clockwise after its own hash. Ownership is a pure function of the
-// member set and the liveness predicate, so every node that agrees on those
-// agrees on the owner — no coordination round needed.
+// virtual points per unit of weight (FNV-64a of "id#i"), a key belongs to
+// the first point at or clockwise after its own hash. Ownership is a pure
+// function of the member set (ids and weights) and the liveness predicate,
+// so every node that agrees on those agrees on the owner — no coordination
+// round needed.
 type Ring struct {
 	mu       sync.RWMutex
 	replicas int
 	points   []ringPoint
-	nodes    map[string]bool
+	nodes    map[string]int // id -> weight
 }
 
 type ringPoint struct {
@@ -43,18 +44,29 @@ func NewRing(replicas int) *Ring {
 	if replicas <= 0 {
 		replicas = 64
 	}
-	return &Ring{replicas: replicas, nodes: map[string]bool{}}
+	return &Ring{replicas: replicas, nodes: map[string]int{}}
 }
 
-// Add inserts a node's virtual points. Idempotent.
-func (r *Ring) Add(node string) {
+// Add inserts a node's virtual points at weight 1. Idempotent.
+func (r *Ring) Add(node string) { r.AddWeighted(node, 1) }
+
+// AddWeighted inserts a node with `weight × replicas` virtual points, so a
+// weight-3 node owns ~3× the keyspace of a weight-1 node (heterogeneous
+// fabrics: weight by core count). Weight <= 0 selects 1. Idempotent per id;
+// the first weight a node is learned with wins — a re-announce with a
+// different weight is ignored, because silently resizing a live member's
+// share would shift ownership mid-flight on some nodes before others.
+func (r *Ring) AddWeighted(node string, weight int) {
+	if weight <= 0 {
+		weight = 1
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.nodes[node] {
+	if r.nodes[node] != 0 {
 		return
 	}
-	r.nodes[node] = true
-	for i := 0; i < r.replicas; i++ {
+	r.nodes[node] = weight
+	for i := 0; i < r.replicas*weight; i++ {
 		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
 	}
 	sort.Slice(r.points, func(i, j int) bool {

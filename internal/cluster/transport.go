@@ -22,6 +22,10 @@ var (
 	ErrBusy = errors.New("cluster: node busy")
 	// ErrNoRecord means a fetch found no cached record under the key.
 	ErrNoRecord = errors.New("cluster: no such record")
+	// ErrPeerDegraded means the per-peer circuit breaker is open: recent
+	// consecutive failures tripped it, and the cooldown has not elapsed. The
+	// caller treats the peer as unreachable without touching the wire.
+	ErrPeerDegraded = errors.New("cluster: peer degraded (breaker open)")
 )
 
 // RemoteError is a terminal failure reported by the owning node. The
@@ -51,6 +55,8 @@ type Health struct {
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
 	Hung    int    `json:"hung"`
+	// Syncing reports an anti-entropy backfill in progress on the node.
+	Syncing bool `json:"syncing,omitempty"`
 }
 
 // StolenJob is one queued unit of work a victim handed to a thief.
@@ -58,6 +64,40 @@ type StolenJob struct {
 	Key    string     `json:"key"`
 	Client string     `json:"client"`
 	Cfg    sim.Config `json:"config"`
+}
+
+// digestBuckets is the anti-entropy digest width: the content-addressed
+// keyspace folds into this many buckets by ringHash(key). 64 keeps the
+// digest a few hundred bytes while a single differing record still isolates
+// to one bucket's key list, so backfill traffic is proportional to the
+// delta, not the cache size.
+const digestBuckets = 64
+
+// BucketSum summarizes one digest bucket: the record count and the XOR of
+// ringHash(key) over the bucket's keys. XOR is order-independent and
+// incremental, and Count catches the pathological XOR collision of two
+// differing sets with equal parity sums.
+type BucketSum struct {
+	Count uint32 `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// Digest is one node's anti-entropy summary of its durable record set.
+// Two nodes with identical digests hold identical key sets with
+// overwhelming probability; a differing bucket triggers a Keys exchange
+// for just that bucket.
+type Digest struct {
+	Node    string                   `json:"node"`
+	Buckets [digestBuckets]BucketSum `json:"buckets"`
+}
+
+// HandoverRequest transfers queued (never running) jobs from a previous
+// ring owner to a freshly joined node that now owns their keys. The jobs
+// remain delegated on the sender until replication confirms completion, so
+// a lost ack degrades to a benign (deterministic) double execution.
+type HandoverRequest struct {
+	From string      `json:"from"`
+	Jobs []StolenJob `json:"jobs"`
 }
 
 // Transport is the inter-node RPC surface. Two implementations exist: the
@@ -84,4 +124,10 @@ type Transport interface {
 	Steal(ctx context.Context, node string) (*StolenJob, error)
 	// Join announces mem to a peer and returns the peer's member list.
 	Join(ctx context.Context, node string, mem Member) ([]Member, error)
+	// Digest fetches a peer's anti-entropy summary of its durable records.
+	Digest(ctx context.Context, node string) (Digest, error)
+	// Keys lists a peer's durable record keys in one digest bucket.
+	Keys(ctx context.Context, node string, bucket int) ([]string, error)
+	// Handover delivers queued jobs to their new ring owner after a join.
+	Handover(ctx context.Context, node string, req HandoverRequest) error
 }

@@ -58,4 +58,18 @@ const (
 	// SiteClusterSteal fires on the work-stealing donor path, refusing to
 	// hand out a queued job.
 	SiteClusterSteal = "cluster/steal"
+
+	// SiteClusterAntiEntropyDigest fires on the anti-entropy digest
+	// exchange: the round's digest RPC fails as unreachable, so the node
+	// skips that peer this round and converges on a later one.
+	SiteClusterAntiEntropyDigest = "cluster/antientropy.digest"
+	// SiteClusterAntiEntropyFetch fires on an anti-entropy backfill fetch:
+	// one missing record is not retrieved this round (a later round, or
+	// ordinary replication, must cover it).
+	SiteClusterAntiEntropyFetch = "cluster/antientropy.fetch"
+	// SiteClusterHandoverAck fires on the receiver side of a join-time
+	// queue handover after the jobs were accepted, modelling a lost ack:
+	// the previous owner reclaims and re-executes locally, and determinism
+	// makes the resulting double execution benign.
+	SiteClusterHandoverAck = "cluster/handover.ack"
 )

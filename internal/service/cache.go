@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"repro/internal/fault"
@@ -66,6 +67,18 @@ func (c *resultCache) peek(key string) (*sim.Result, bool) {
 		return nil, false
 	}
 	return el.Value.(*cacheEntry).res, true
+}
+
+// keys returns every cached key, sorted — the anti-entropy digest source.
+func (c *resultCache) keys() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // put stores res under key, evicting the least recently used entry over

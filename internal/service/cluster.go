@@ -66,6 +66,14 @@ func (s *Service) QueueDepth() int {
 	return int(s.queued.Load())
 }
 
+// ResultKeys lists every cached result key, sorted — the enumeration the
+// anti-entropy digest is computed over. The in-memory cache mirrors the
+// durable store (boot loads seed it, puts write through), so this is the
+// node's durable record set without touching disk.
+func (s *Service) ResultKeys() []string {
+	return s.cache.keys()
+}
+
 // SetOnDone installs the completion hook: fn is called from the worker
 // goroutine after an actual simulation completes and its result is cached
 // (cache hits and replica seeds do not fire it). The cluster layer uses it
@@ -197,6 +205,28 @@ func (s *Service) TakeQueued() (j *Job, ok bool) {
 	}
 }
 
+// TakeQueuedFor removes every queued job whose key the predicate accepts —
+// the join-time handover donor path (the jobs' keys now belong to a fresh
+// ring member). Uncacheable and cancel-requested jobs never leave the node;
+// the predicate only sees cacheable live keys. The returned jobs are in the
+// deterministic order the fair queues would have served them, shard by
+// shard, and remain registered in the job table and inflight map so
+// coalescing and status polls keep working while they are delegated.
+func (s *Service) TakeQueuedFor(pred func(key string) bool) []*Job {
+	var out []*Job
+	for _, q := range s.queues {
+		taken := q.takeMatching(func(j *Job) bool {
+			return j.cacheable && !j.cancelRequested() && pred(j.key)
+		})
+		out = append(out, taken...)
+	}
+	if len(out) > 0 {
+		s.queued.Add(-int64(len(out)))
+		s.publish()
+	}
+	return out
+}
+
 // FinishStolen completes a job previously handed out by TakeQueued with the
 // result the thief computed (or that arrived through replication first).
 // Cancellation that raced in while the job was delegated wins: the job
@@ -229,11 +259,15 @@ func (s *Service) ExecuteNow(j *Job) {
 type NodeStat struct {
 	Node  string `json:"node"`
 	Addr  string `json:"addr,omitempty"`
-	State string `json:"state"` // "self" | "alive" | "dead"
+	State string `json:"state"` // "self" | "alive" | "degraded" | "dead"
 
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
 	Hung    int `json:"hung"`
+
+	// Syncing reports the node is mid anti-entropy backfill (self row from
+	// the local flag, peer rows from the last heartbeat).
+	Syncing bool `json:"syncing,omitempty"`
 
 	// Cluster counters (self row only).
 	Forwarded    uint64 `json:"forwarded,omitempty"`
@@ -243,6 +277,10 @@ type NodeStat struct {
 	Replicated   uint64 `json:"replicated,omitempty"`
 	ReplTorn     uint64 `json:"replTorn,omitempty"`
 	Fetched      uint64 `json:"fetched,omitempty"`
+	Backfilled   uint64 `json:"backfilled,omitempty"`
+	HandedOut    uint64 `json:"handedOut,omitempty"`
+	HandedIn     uint64 `json:"handedIn,omitempty"`
+	BreakerTrips uint64 `json:"breakerTrips,omitempty"`
 
 	// HeartbeatAgeMS is the age of the last successful heartbeat (peer rows;
 	// -1 when never heard from).
