@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos chaos-cluster kill-smoke cluster-smoke heal-smoke clean
+.PHONY: all build vet lint lint-canary test race bench experiments trace-smoke serve-smoke dashboard-smoke chaos chaos-cluster kill-smoke cluster-smoke heal-smoke clean
 
 all: build test
 
@@ -11,21 +11,31 @@ vet:
 	$(GO) vet ./...
 
 # Custom static analysis (cmd/simlint): determinism, zero-alloc, failpoint
-# registry, and atomic-hygiene invariants, enforced module-wide. The driver
-# is built through the normal go build cache, so warm runs cost seconds.
+# registry, atomic-hygiene, determinism-taint, lock-order, goroutine-leak,
+# and float-order invariants — the last four on the cross-package dataflow
+# IR. The driver is built through the normal go build cache, so warm runs
+# cost seconds.
 lint:
 	$(GO) run ./cmd/simlint ./...
 
+# Lint self-test: inject known violations (a wall clock flowing into a
+# Result in the cluster layer, a reversed lock pair, a leaked goroutine)
+# into a throwaway overlay of the tree and assert simlint fails on each,
+# naming the right analyzer — so a silently broken analyzer cannot pass CI
+# by reporting nothing (see scripts/lint_canary.sh).
+lint-canary:
+	GO="$(GO)" sh scripts/lint_canary.sh
+
 # Tier-1 gate: build everything, vet + simlint, run the full test suite,
-# the race-enabled suites over the simulator core and the job scheduler,
-# and the observability end-to-end smoke.
+# the race-enabled suites over the simulator core, the job scheduler, and
+# the cluster fabric, and the observability end-to-end smoke.
 test: build vet lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/... ./internal/cluster/...
 	$(MAKE) trace-smoke
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/service/... ./internal/obs/... ./internal/cluster/...
 
 # End-to-end observability smoke: run a tiny traced workload with the debug
 # server up, validate the Chrome trace against the schema, and scrape

@@ -8,9 +8,19 @@
 // cover the atomic value types because they are not Lockers; this pass
 // closes that gap. Line-scoped //simlint:atomicok suppresses a reviewed
 // finding (e.g. single-threaded construction before publication).
+//
+// Mixed-access detection runs module-wide on the cross-package IR: a word
+// accessed atomically in one package and plainly in another (an exported
+// counter incremented by a sibling package, a field reached through a
+// returned pointer) is the race the per-package view structurally cannot
+// see. Words are identified by their stable framework keys ("pkg.Type.field"
+// for fields, "pkg.v" for package vars), because object pointers are not
+// comparable across per-package type-checks. The by-value-copy pass stays
+// per-package — a copy is visible where it happens.
 package atomichygiene
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -21,9 +31,10 @@ import (
 // Analyzer is the atomichygiene pass.
 var Analyzer = &framework.Analyzer{
 	Name: "atomichygiene",
-	Doc: "flag mixed plain/atomic access and by-value copies of sync/atomic types\n\n" +
-		"Counters read by /metrics while workers add to them must be atomic on every path, and atomic.Int64-style values must move by pointer.",
-	Run: run,
+	Doc: "flag mixed plain/atomic access (module-wide) and by-value copies of sync/atomic types\n\n" +
+		"Counters read by /metrics while workers add to them must be atomic on every path — even across packages — and atomic.Int64-style values must move by pointer.",
+	Run:       run,
+	RunModule: runModule,
 }
 
 // atomicPtrFuncs are the sync/atomic functions whose first argument is the
@@ -39,77 +50,140 @@ var atomicPtrFuncs = map[string]bool{
 
 type posRange struct{ from, to token.Pos }
 
+// run is the per-package half: by-value copies of method-based atomic
+// types. Mixed plain/atomic access lives in runModule.
 func run(pass *framework.Pass) error {
-	atomicWords := map[types.Object]token.Pos{} // object -> first atomic access
-	var sanctioned []posRange                   // &word expressions inside atomic calls
-
-	// Pass A: find every word accessed through sync/atomic in this package.
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			path, name, ok := pass.ImportedPath(call.Fun)
-			if !ok || path != "sync/atomic" || !atomicPtrFuncs[name] || len(call.Args) == 0 {
-				return true
-			}
-			for _, arg := range call.Args {
-				un, ok := arg.(*ast.UnaryExpr)
-				if !ok || un.Op != token.AND {
-					continue
-				}
-				if obj := addressedObject(pass, un.X); obj != nil {
-					if _, seen := atomicWords[obj]; !seen {
-						atomicWords[obj] = call.Pos()
-					}
-					sanctioned = append(sanctioned, posRange{un.Pos(), un.End()})
-				}
-			}
-			return true
-		})
-	}
-
-	// Pass B: any other appearance of those words is a mixed plain access.
-	// Selector fields are caught via their Sel identifier, which ast.Inspect
-	// visits as a plain *ast.Ident.
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			obj := pass.TypesInfo.Uses[id]
-			if obj == nil {
-				return true
-			}
-			first, isAtomic := atomicWords[obj]
-			if !isAtomic || within(sanctioned, id.Pos()) || pass.Directive(id.Pos(), "//simlint:atomicok") {
-				return true
-			}
-			pass.Reportf(id.Pos(), "plain access to %s, which is accessed with sync/atomic at %s: mixed access is a data race",
-				obj.Name(), pass.Fset.Position(first))
-			return true
-		})
-	}
-
-	// Pass C: by-value copies of method-based atomic types.
 	for _, file := range pass.Files {
 		checkCopies(pass, file)
 	}
 	return nil
 }
 
+// runModule is the cross-package half: collect every word accessed through
+// sync/atomic anywhere in the module, then flag plain accesses to those
+// words in every package.
+func runModule(mp *framework.ModulePass) error {
+	words := map[string]token.Pos{} // stable word key -> first atomic access
+	var sanctioned []posRange       // &word expressions inside atomic calls
+
+	// Pass A: module-wide atomic-access inventory.
+	for _, pkg := range mp.Packages {
+		for _, file := range pkg.Syntax {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := framework.CalleeOf(pkg.TypesInfo, call)
+				if callee == nil || callee.Pkg() == nil ||
+					callee.Pkg().Path() != "sync/atomic" || !atomicPtrFuncs[callee.Name()] {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					keys := wordKeys(mp, pkg, un.X)
+					if len(keys) == 0 {
+						continue
+					}
+					for _, key := range keys {
+						if _, seen := words[key]; !seen {
+							words[key] = call.Pos()
+						}
+					}
+					sanctioned = append(sanctioned, posRange{un.Pos(), un.End()})
+				}
+				return true
+			})
+		}
+	}
+	if len(words) == 0 {
+		return nil
+	}
+
+	// Pass B: any other appearance of a tracked word, in any package, is a
+	// mixed plain access. Selectors are matched as a unit (and only their
+	// base is descended into) so one access reports once.
+	for _, pkg := range mp.Packages {
+		for _, file := range pkg.Syntax {
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkAccess(mp, pkg, n, n.Sel.Name, words, sanctioned)
+					ast.Inspect(n.X, walk)
+					return false
+				case *ast.Ident:
+					// A declaration is not an access.
+					if pkg.TypesInfo.Defs[n] == nil {
+						checkAccess(mp, pkg, n, n.Name, words, sanctioned)
+					}
+				}
+				return true
+			}
+			ast.Inspect(file, walk)
+		}
+	}
+	return nil
+}
+
+// wordKeys resolves the operand of &expr in an atomic call to its stable
+// identities: the structural ExprKey ("pkg.Type.field" / "pkg.v"), which
+// matches accesses from any package, plus the declaration-position key,
+// which matches unqualified field references inside the owning package's
+// methods.
+func wordKeys(mp *framework.ModulePass, pkg *framework.Package, e ast.Expr) []string {
+	var keys []string
+	if key, ok := framework.ExprKey(mp.Fset, pkg.TypesInfo, e); ok {
+		keys = append(keys, key)
+	}
+	if obj := addressedObject(pkg, e); obj != nil {
+		if dk := declKey(mp, obj); dk != "" && (len(keys) == 0 || keys[0] != dk) {
+			keys = append(keys, dk)
+		}
+	}
+	return keys
+}
+
+// checkAccess reports e if it resolves to a tracked atomic word outside a
+// sanctioned &word range.
+func checkAccess(mp *framework.ModulePass, pkg *framework.Package, e ast.Expr, name string, words map[string]token.Pos, sanctioned []posRange) {
+	for _, key := range wordKeys(mp, pkg, e) {
+		first, isAtomic := words[key]
+		if !isAtomic {
+			continue
+		}
+		if within(sanctioned, e.Pos()) || mp.Directive(e.Pos(), "//simlint:atomicok") {
+			return
+		}
+		mp.Reportf(e.Pos(), "plain access to %s, which is accessed with sync/atomic at %s: mixed access is a data race",
+			name, mp.Fset.Position(first))
+		return
+	}
+}
+
+// declKey is the declaration-position identity of a word: stable within the
+// module (all packages are loaded from source) but never derivable from
+// export data, so it only links same-package unqualified references.
+func declKey(mp *framework.ModulePass, obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil || !obj.Pos().IsValid() {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s@%d", obj.Pkg().Path(), obj.Name(), mp.Fset.Position(obj.Pos()).Offset)
+}
+
 // addressedObject resolves &expr's operand to the field or variable object
 // whose address is taken.
-func addressedObject(pass *framework.Pass, e ast.Expr) types.Object {
+func addressedObject(pkg *framework.Package, e ast.Expr) types.Object {
 	switch x := e.(type) {
 	case *ast.Ident:
-		return pass.TypesInfo.Uses[x]
+		return pkg.TypesInfo.Uses[x]
 	case *ast.SelectorExpr:
-		return pass.TypesInfo.Uses[x.Sel]
+		return pkg.TypesInfo.Uses[x.Sel]
 	case *ast.IndexExpr:
-		return addressedObject(pass, x.X)
+		return addressedObject(pkg, x.X)
 	}
 	return nil
 }

@@ -10,3 +10,10 @@ import (
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, atomichygiene.Analyzer, "testdata/src/atomics")
 }
+
+// TestCrossPackage proves the module-wide half: package b races on words
+// whose atomic accesses all live in package a, which per-package analysis
+// structurally cannot see.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, atomichygiene.Analyzer, "testdata/src/xpkg/a", "testdata/src/xpkg/b")
+}

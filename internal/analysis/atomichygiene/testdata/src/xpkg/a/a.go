@@ -1,0 +1,29 @@
+// Package a is the defining side of the cross-package atomichygiene
+// fixture: every access to its words is atomic, so this package is clean;
+// the races live in sibling package b.
+package a
+
+import "sync/atomic"
+
+// Hits is an exported package-level counter, accessed atomically here.
+var Hits int64
+
+// Counter carries an exported word accessed atomically by its methods.
+type Counter struct {
+	Inflight int64
+}
+
+// Bump increments the package counter atomically.
+func Bump() {
+	atomic.AddInt64(&Hits, 1)
+}
+
+// Start increments the field atomically.
+func (c *Counter) Start() {
+	atomic.AddInt64(&c.Inflight, 1)
+}
+
+// Done decrements the field atomically.
+func (c *Counter) Done() {
+	atomic.AddInt64(&c.Inflight, -1)
+}

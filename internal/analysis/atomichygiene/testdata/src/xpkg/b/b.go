@@ -1,0 +1,35 @@
+// Package b is the racing side of the cross-package atomichygiene fixture:
+// it accesses package a's atomically-maintained words plainly. A
+// per-package analysis cannot see these — the atomic accesses are all in a.
+package b
+
+import (
+	"sync/atomic"
+
+	a "repro/internal/analysis/atomichygiene/testdata/src/xpkg/a"
+)
+
+// Peek reads the package counter without atomics.
+func Peek() int64 {
+	return a.Hits // want `plain access to Hits, which is accessed with sync/atomic`
+}
+
+// Reset writes the field without atomics.
+func Reset(c *a.Counter) {
+	c.Inflight = 0 // want `plain access to Inflight, which is accessed with sync/atomic`
+}
+
+// PeekAtomic reads cross-package through sync/atomic: clean.
+func PeekAtomic() int64 {
+	return atomic.LoadInt64(&a.Hits)
+}
+
+// Load reads the field atomically: clean.
+func Load(c *a.Counter) int64 {
+	return atomic.LoadInt64(&c.Inflight)
+}
+
+// ResetReviewed carries the reviewed escape: clean.
+func ResetReviewed(c *a.Counter) {
+	c.Inflight = 0 //simlint:atomicok single-owner reset during handover barrier
+}

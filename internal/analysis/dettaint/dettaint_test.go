@@ -1,0 +1,18 @@
+package dettaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/dettaint"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, dettaint.Analyzer,
+		"testdata/src/internal/sim",
+		"testdata/src/internal/service",
+		"testdata/src/internal/figures",
+		"testdata/src/taintsrc",
+		"testdata/src/taintuse",
+	)
+}

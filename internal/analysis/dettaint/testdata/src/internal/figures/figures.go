@@ -1,0 +1,8 @@
+// Package figures is the dettaint fixture's table package: arguments to
+// its exported functions must be deterministic.
+package figures
+
+// Table is the byte-identical-table emitter stand-in.
+func Table(rows []string) {
+	_ = rows
+}

@@ -1,0 +1,10 @@
+// Package service is the dettaint fixture's durable-record package: its
+// EncodeRecord matches the analyzer's durable-frame sink pattern.
+package service
+
+import "fmt"
+
+// EncodeRecord is the durable-frame encoder stand-in.
+func EncodeRecord(keys []string) []byte {
+	return []byte(fmt.Sprint(keys))
+}

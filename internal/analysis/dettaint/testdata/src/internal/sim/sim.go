@@ -1,0 +1,14 @@
+// Package sim is the dettaint fixture's sink-type package: its path ends
+// in internal/sim, so Result and Config fields are result-affecting sinks.
+package sim
+
+// Result is the published simulation outcome.
+type Result struct {
+	Cycles float64
+	Wall   float64
+}
+
+// Config is fingerprinted: every field is a content-address input.
+type Config struct {
+	Seed int64
+}

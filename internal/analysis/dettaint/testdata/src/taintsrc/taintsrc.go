@@ -1,0 +1,16 @@
+// Package taintsrc holds cross-package taint origins: functions whose
+// return values derive from nondeterminism sources. Consumers in other
+// packages inherit the taint through the module call graph.
+package taintsrc
+
+import "time"
+
+// Stamp returns a wall-clock-derived value: callers inherit the taint.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Fixed returns a constant: clean.
+func Fixed() float64 {
+	return 42
+}

@@ -1,0 +1,174 @@
+// Package floatdet flags floating-point re-accumulation in iteration
+// contexts whose visit order is not deterministic: map ranges (Go
+// randomizes map order per run) and goroutine-unordered loops (a `go`
+// launched per iteration writes back in scheduler order). Float addition
+// and multiplication are not associative, so `sum += v` — or its
+// spelled-out forms `sum = sum + v` and `sum = v + sum`, which the
+// nondeterminism analyzer's map-discipline check deliberately left to this
+// pass — produces low-bit differences run to run. That silently breaks the
+// exact-sum attribution invariants (obs reconciliation, span phase sums)
+// and the byte-identical figure tables the whole repro is pinned on.
+//
+// Unlike the nondeterminism analyzer this pass runs module-wide, not just
+// in simulation-state packages: a float accumulated in map order anywhere
+// can reach a Result, a stats row, or a fingerprint.
+//
+// The sanctioned fixes are (a) accumulate over a sorted key slice, (b)
+// accumulate integers and convert once, or (c) collect into a slice, sort,
+// then sum. A reviewed order-insensitive site (e.g. a bound that only
+// feeds a >= comparison) can carry a line-scoped escape:
+//
+//	//simlint:floatok <why order cannot reach an output>
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the floatdet pass.
+var Analyzer = &framework.Analyzer{
+	Name: "floatdet",
+	Doc: "flag float re-accumulation in map-order and goroutine-order dependent loops\n\n" +
+		"Float ops are not associative: accumulating in nondeterministic order breaks bit-exact sums.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				// //simlint:ordered (the nondeterminism analyzer's reviewed
+				// map-iteration escape) covers the float discipline too: the
+				// review already argued order cannot reach an output.
+				if isMapRange(pass, n) && !pass.Directive(n.Pos(), "//simlint:ordered") {
+					checkBody(pass, n.Body, n.Body, "map iteration")
+				}
+				checkGoAccum(pass, n.Body)
+			case *ast.ForStmt:
+				checkGoAccum(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoAccum flags float accumulation into captured variables from
+// goroutines launched inside a loop: the writes land in scheduler order.
+func checkGoAccum(pass *framework.Pass, loopBody *ast.BlockStmt) {
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			// Variables declared inside the literal are per-goroutine;
+			// only captured (outer) floats accumulate across goroutines.
+			checkBody(pass, lit.Body, lit.Body, "per-iteration goroutine")
+		}
+		return true
+	})
+}
+
+// checkBody reports order-dependent float accumulation inside body.
+// localScope is the node within which a target variable does not count as
+// shared (declared fresh each iteration / per goroutine).
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, localScope ast.Node, ctx string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isGo := n.(*ast.GoStmt); isGo && ctx == "map iteration" {
+			return false // the map-range walk handles nested goroutines via checkGoAccum
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, rhs := as.Lhs[0], as.Rhs[0]
+		if !isFloatExpr(pass, lhs) {
+			return true
+		}
+		obj := lhsObject(pass, lhs)
+		if obj == nil || declaredWithin(obj, localScope) {
+			return true
+		}
+		accum := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accum = true
+		case token.ASSIGN:
+			accum = selfReferential(pass, lhs, rhs, obj)
+		}
+		if !accum {
+			return true
+		}
+		if pass.Directive(as.Pos(), "//simlint:floatok") {
+			return true
+		}
+		pass.Reportf(as.Pos(), "float accumulation into %s inside %s: float ops are not associative, so the result depends on visit order; accumulate over a sorted order or mark //simlint:floatok with a reason",
+			obj.Name(), ctx)
+		return true
+	})
+}
+
+// selfReferential reports whether rhs is an arithmetic expression that
+// reads obj — the spelled-out `x = x + v` / `x = v * x` accumulation forms.
+func selfReferential(pass *framework.Pass, lhs, rhs ast.Expr, obj types.Object) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	reads := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && pass.TypesInfo.ObjectOf(id) == obj {
+			reads = true
+		}
+		return !reads
+	})
+	return reads
+}
+
+func lhsObject(pass *framework.Pass, lhs ast.Expr) types.Object {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(l)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(l.Sel)
+	case *ast.IndexExpr:
+		return lhsObject(pass, l.X)
+	case *ast.StarExpr:
+		return lhsObject(pass, l.X)
+	}
+	return nil
+}
+
+func declaredWithin(obj types.Object, scope ast.Node) bool {
+	return scope != nil && obj.Pos() >= scope.Pos() && obj.Pos() <= scope.End()
+}
+
+func isMapRange(pass *framework.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isFloatExpr(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/floatdet"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, floatdet.Analyzer, "testdata/src/floats")
+}

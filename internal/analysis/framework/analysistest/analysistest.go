@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -24,6 +25,12 @@ import (
 )
 
 var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// key addresses one fixture line's diagnostics and expectations.
+type key struct {
+	file string
+	line int
+}
 
 // Run loads the fixture package at dir (relative to the calling test's
 // package directory, e.g. "testdata/src/a") and checks the analyzer's
@@ -44,10 +51,6 @@ func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
 
-	type key struct {
-		file string
-		line int
-	}
 	got := map[key][]string{}
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -78,9 +81,12 @@ func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
 		}
 	}
 
-	for k, res := range want {
+	// Report in deterministic file:line order — expected-but-missing
+	// diagnostics first, then unexpected ones — so fixture failures read
+	// the same on every run and CI diffs stay stable.
+	for _, k := range sortedKeys(want) {
 		msgs := got[k]
-		for _, re := range res {
+		for _, re := range want[k] {
 			matched := -1
 			for i, m := range msgs {
 				if m != "" && re.MatchString(m) {
@@ -89,7 +95,7 @@ func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
 				}
 			}
 			if matched < 0 {
-				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", rel(k.file), k.line, re, msgs)
+				t.Errorf("%s:%d: expected diagnostic missing: no report matching %q (got %v)", rel(k.file), k.line, re, msgs)
 				continue
 			}
 			msgs[matched] = "" // consume so duplicate wants need duplicate diags
@@ -101,11 +107,26 @@ func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
 		}
 		delete(got, k)
 	}
-	for k, msgs := range got {
-		for _, m := range msgs {
+	for _, k := range sortedKeys(got) {
+		for _, m := range got[k] {
 			t.Errorf("%s:%d: unexpected diagnostic %q (no want comment)", rel(k.file), k.line, m)
 		}
 	}
+}
+
+// sortedKeys orders diagnostic map keys by file, then line.
+func sortedKeys[V any](m map[key]V) []key {
+	out := make([]key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
 }
 
 // rel trims the test's working directory off fixture paths to keep failure

@@ -20,15 +20,20 @@ import (
 
 // Analyzer describes one static check. Unlike x/tools there is no Requires
 // graph or fact serialization: analyzers run independently per package, and
-// module-wide invariants (e.g. failpoint-site uniqueness) use Begin/End
-// hooks that bracket a whole driver run.
+// module-wide invariants use either Begin/End hooks that bracket a whole
+// driver run or — for the dataflow analyzers — a RunModule hook that
+// receives the shared SSA-lite IR (ir.go) of every loaded package at once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -run filters.
 	Name string
 	// Doc is a one-paragraph description (first line = summary).
 	Doc string
-	// Run is invoked once per loaded package.
+	// Run, if non-nil, is invoked once per loaded package.
 	Run func(*Pass) error
+	// RunModule, if non-nil, is invoked once per driver run with every
+	// loaded package and the module IR — the cross-package dataflow entry
+	// point (call-graph fact propagation, module-wide def-use).
+	RunModule func(*ModulePass) error
 	// Begin, if non-nil, is invoked once before any package. Analyzers
 	// with module-wide state reset it here so repeated driver runs (and
 	// tests) start clean.
@@ -57,6 +62,82 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+}
+
+// ModulePass carries the whole run's load results and shared IR to an
+// analyzer's RunModule.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+	IR       *ModuleIR
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	lines map[*Package]*LineComments // lazily built per-package indexes
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Directive reports whether a directive comment appears on pos's line or
+// the line above, searching every loaded package's comment index (the
+// position alone does not say which package owns the file).
+func (p *ModulePass) Directive(pos token.Pos, directive string) bool {
+	at := p.Fset.Position(pos)
+	if p.lines == nil {
+		p.lines = map[*Package]*LineComments{}
+	}
+	for _, pkg := range p.Packages {
+		lc, ok := p.lines[pkg]
+		if !ok {
+			pp := &Pass{Fset: p.Fset, Files: pkg.Syntax}
+			lc = pp.Comments()
+			p.lines[pkg] = lc
+		}
+		for _, line := range []int{at.Line, at.Line - 1} {
+			for _, c := range lc.byLine[at.Filename][line] {
+				text := strings.TrimSpace(c.Text)
+				if text == directive || strings.HasPrefix(text, directive+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// DirectiveReason returns the trailing free text of a directive on pos's
+// line (or the line above), and whether the directive is present at all.
+// Analyzers that demand a justification comment (e.g. //simlint:leakok
+// <why>) use the second return to distinguish "absent" from "bare".
+func (p *ModulePass) DirectiveReason(pos token.Pos, directive string) (reason string, present bool) {
+	at := p.Fset.Position(pos)
+	if p.lines == nil {
+		p.lines = map[*Package]*LineComments{}
+	}
+	for _, pkg := range p.Packages {
+		lc, ok := p.lines[pkg]
+		if !ok {
+			pp := &Pass{Fset: p.Fset, Files: pkg.Syntax}
+			lc = pp.Comments()
+			p.lines[pkg] = lc
+		}
+		for _, line := range []int{at.Line, at.Line - 1} {
+			for _, c := range lc.byLine[at.Filename][line] {
+				text := strings.TrimSpace(c.Text)
+				if text == directive {
+					return "", true
+				}
+				if strings.HasPrefix(text, directive+" ") {
+					return strings.TrimSpace(text[len(directive):]), true
+				}
+			}
+		}
+	}
+	return "", false
 }
 
 // Reportf formats and reports a diagnostic at pos.

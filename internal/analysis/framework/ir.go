@@ -1,0 +1,463 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the cross-package dataflow layer: an SSA-lite IR built once
+// per driver run from every loaded package. It deliberately stops far short
+// of real SSA — no phi nodes, no basic blocks — because the module's
+// analyzers need exactly three things: per-function def-use chains (which
+// objects a function assigns, from which expressions), a module-wide call
+// graph with stable cross-package function keys, and a worklist fixpoint
+// helper to push analyzer-defined facts along that graph (the modular-facts
+// idea from go/analysis, minus the serialization, since the whole module is
+// loaded in one process anyway).
+
+// FuncKey is the stable, cross-package identity of a function or method:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for methods
+// (pointerness of the receiver is erased — lock-order and taint facts do
+// not care which method set resolved the call). Keys are strings, not
+// *types.Func, because each package is type-checked against gc export data:
+// the same method seen from two importing packages is two distinct objects.
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := "?"
+		switch t := t.(type) {
+		case *types.Named:
+			name = t.Obj().Name()
+		case *types.Alias:
+			name = t.Obj().Name()
+		case interface{ Obj() *types.TypeName }: // future named-like types
+			name = t.Obj().Name()
+		default:
+			name = t.String()
+		}
+		return fmt.Sprintf("%s.(%s).%s", pkg, name, fn.Name())
+	}
+	return pkg + "." + fn.Name()
+}
+
+// ObjKey is the cross-package identity of a variable or field. Like
+// FuncKey it exists because object pointers are not comparable across
+// per-package type-checks; the type string disambiguates same-named fields
+// of different types within one package.
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "#" + obj.Type().String()
+}
+
+// ExprKey resolves an lvalue-ish expression to a stable cross-package
+// identity usable as a map key:
+//
+//   - x.f where x has a named (possibly pointered) type T in package p
+//     yields "p.T.f" — the same key no matter which package the selector
+//     appears in, which plain object identity cannot give (each package is
+//     type-checked against export data, so the field object differs);
+//   - a package-level var v in package p yields "p.v";
+//   - a local var yields "p.v@<offset>" (unique per declaration; locals are
+//     never visible cross-package, the offset only separates shadows).
+//
+// ok=false for expressions with no stable identity (map/slice elements
+// through computed indexes, results of calls, ...).
+func ExprKey(fset *token.FileSet, info *types.Info, e ast.Expr) (key string, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.Pkg() == nil {
+			return "", false
+		}
+		if v.IsField() {
+			// Unqualified field reference inside a method (embedded or
+			// promoted): no receiver chain to name the owner; fall back to
+			// the declaring position, which is stable for source-loaded
+			// packages.
+			pos := fset.Position(v.Pos())
+			return fmt.Sprintf("%s.%s@%d", v.Pkg().Path(), v.Name(), pos.Offset), true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+		pos := fset.Position(v.Pos())
+		return fmt.Sprintf("%s.%s@%d", v.Pkg().Path(), v.Name(), pos.Offset), true
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(x.Sel)
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", false
+		}
+		if !v.IsField() {
+			// pkgname.Var qualified reference.
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+			return "", false
+		}
+		t := exprTypeOf(info, x.X)
+		if t == nil {
+			return "", false
+		}
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name(), true
+	case *ast.IndexExpr:
+		return ExprKey(fset, info, x.X)
+	case *ast.StarExpr:
+		return ExprKey(fset, info, x.X)
+	}
+	return "", false
+}
+
+// ShortKey trims the module-path prefix off an ExprKey or FuncKey for
+// readable diagnostics: "repro/internal/cluster.Node.mu" -> "cluster.Node.mu".
+func ShortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func exprTypeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Assign is one def in a function's def-use chain: the object written, the
+// expression it was written from (nil for `var x T` and for positions where
+// no single RHS exists, e.g. multi-value unpacking), and the position.
+type Assign struct {
+	Obj types.Object
+	LHS ast.Expr // nil when the def comes from a ValueSpec name
+	RHS ast.Expr
+	Pos token.Pos
+	// InSelect is true when the def sits in a select CommClause of a
+	// select with more than one communication case — the value's identity
+	// depends on goroutine-send interleaving.
+	InSelect bool
+}
+
+// CallSite is one call in a function body, resolved where possible.
+type CallSite struct {
+	Call      *ast.CallExpr
+	Callee    *types.Func // nil for func-valued expressions and builtins
+	CalleeKey string      // "" when unresolved
+}
+
+// FuncIR is the per-function slice of the IR.
+type FuncIR struct {
+	Key  string
+	Name string
+	Pkg  *Package
+	Decl *ast.FuncDecl // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+	Body *ast.BlockStmt
+
+	Assigns []Assign
+	Returns []*ast.ReturnStmt
+	Calls   []CallSite
+	Gos     []*ast.GoStmt
+}
+
+// ModuleIR holds the whole loaded module's IR plus the call graph.
+type ModuleIR struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// Funcs maps FuncKey -> IR for every declared function/method whose
+	// body was loaded from source. Function literals are not keyed (no
+	// stable identity) but appear in Lits.
+	Funcs map[string]*FuncIR
+	// Lits holds the IR of every function literal, in source order.
+	Lits []*FuncIR
+	// Callers is the reverse call graph: callee FuncKey -> caller FuncKeys
+	// (declared functions only; a call made inside a function literal is
+	// attributed to the literal's enclosing declared function).
+	Callers map[string][]string
+}
+
+// BuildModuleIR constructs the IR for every loaded package. Cost is one AST
+// walk per file; analyzers share the result through the ModulePass.
+func BuildModuleIR(fset *token.FileSet, pkgs []*Package) *ModuleIR {
+	m := &ModuleIR{
+		Fset:     fset,
+		Packages: pkgs,
+		Funcs:    map[string]*FuncIR{},
+		Callers:  map[string][]string{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				key := FuncKey(obj)
+				if key == "" {
+					key = pkg.PkgPath + "." + fd.Name.Name
+				}
+				fir := &FuncIR{Key: key, Name: fd.Name.Name, Pkg: pkg, Decl: fd, Body: fd.Body}
+				m.scanBody(fir, pkg, fd.Body, key)
+				m.Funcs[key] = fir
+			}
+		}
+	}
+	// Deterministic reverse edges (map insertion order varies with the
+	// Funcs map above only through pkgs/file order, which is sorted by the
+	// loader; still, sort callers for stable diagnostics).
+	for k := range m.Callers {
+		sort.Strings(m.Callers[k])
+	}
+	return m
+}
+
+// scanBody fills fir's def-use, call, return, and go-statement chains, and
+// recursively builds literal IRs. Nested function literals get their own
+// FuncIR (appended to Lits) whose Key is the enclosing declared function's
+// key plus a "$lit" suffix; their calls contribute reverse edges under the
+// enclosing key so fact propagation sees through `go func(){...}()` bodies.
+func (m *ModuleIR) scanBody(fir *FuncIR, pkg *Package, body *ast.BlockStmt, enclosingKey string) {
+	// selectDepth tracks whether the walk is inside a multi-way select.
+	var walk func(n ast.Node, inSelect bool) bool
+	var inspect func(n ast.Node, inSelect bool)
+	inspect = func(n ast.Node, inSelect bool) {
+		ast.Inspect(n, func(n ast.Node) bool { return walk(n, inSelect) })
+	}
+	walk = func(n ast.Node, inSelect bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &FuncIR{
+				Key:  enclosingKey + "$lit",
+				Name: fir.Name + "$lit",
+				Pkg:  pkg,
+				Lit:  n,
+				Body: n.Body,
+			}
+			m.scanBody(lit, pkg, n.Body, enclosingKey)
+			m.Lits = append(m.Lits, lit)
+			// The literal's contents also belong to the enclosing function's
+			// chains: a `go func(){...}` body is still this function's code
+			// as far as lock/taint/stop facts are concerned.
+			fir.Assigns = append(fir.Assigns, lit.Assigns...)
+			fir.Calls = append(fir.Calls, lit.Calls...)
+			fir.Gos = append(fir.Gos, lit.Gos...)
+			return false
+		case *ast.SelectStmt:
+			multi := n.Body != nil && len(n.Body.List) > 1
+			for _, cl := range n.Body.List {
+				inspect(cl, inSelect || multi)
+			}
+			return false
+		case *ast.GoStmt:
+			fir.Gos = append(fir.Gos, n)
+			return true
+		case *ast.ReturnStmt:
+			fir.Returns = append(fir.Returns, n)
+			return true
+		case *ast.CallExpr:
+			cs := CallSite{Call: n}
+			if callee := CalleeOf(pkg.TypesInfo, n); callee != nil {
+				cs.Callee = callee
+				cs.CalleeKey = FuncKey(callee)
+				m.Callers[cs.CalleeKey] = appendUnique(m.Callers[cs.CalleeKey], enclosingKey)
+			}
+			fir.Calls = append(fir.Calls, cs)
+			return true
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				obj := assignedObject(pkg.TypesInfo, lhs)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value unpack: all LHS taint from it
+				}
+				fir.Assigns = append(fir.Assigns, Assign{
+					Obj: obj, LHS: lhs, RHS: rhs, Pos: lhs.Pos(), InSelect: inSelect,
+				})
+			}
+			return true
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := pkg.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Values) == len(n.Names) {
+					rhs = n.Values[i]
+				} else if len(n.Values) == 1 {
+					rhs = n.Values[0]
+				}
+				fir.Assigns = append(fir.Assigns, Assign{
+					Obj: obj, RHS: rhs, Pos: name.Pos(), InSelect: inSelect,
+				})
+			}
+			return true
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if obj := assignedObject(pkg.TypesInfo, e); obj != nil {
+					fir.Assigns = append(fir.Assigns, Assign{
+						Obj: obj, LHS: e, RHS: n.X, Pos: e.Pos(), InSelect: inSelect,
+					})
+				}
+			}
+			return true
+		}
+		return true
+	}
+	inspect(body, false)
+}
+
+// CalleeOf resolves a call expression to the *types.Func it invokes:
+// package functions, methods (through selections), and same-package
+// identifiers. Function values, builtins, and type conversions yield nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified call pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// assignedObject resolves the object defined or used by an assignment LHS.
+func assignedObject(info *types.Info, lhs ast.Expr) types.Object {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[l]; obj != nil {
+			return obj
+		}
+		return info.Uses[l]
+	case *ast.SelectorExpr:
+		return info.Uses[l.Sel]
+	case *ast.StarExpr:
+		return assignedObject(info, l.X)
+	case *ast.IndexExpr:
+		return assignedObject(info, l.X)
+	}
+	return nil
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// ---------------------------------------------------------------------------
+// Fact propagation.
+
+// Propagate pushes boolean facts from callees to callers until fixpoint: a
+// function acquires the fact as soon as any function it calls holds it.
+// seed maps FuncKey -> true for the functions where the fact originates;
+// the returned map is the transitive closure over the reverse call graph.
+// This is the shape lockorder (transitive lock sets decompose into one
+// fact per lock class) and goroutineleak (has-stop-evidence) need; dettaint
+// runs its own fixpoint because its transfer function re-evaluates local
+// def-use chains rather than a plain union.
+func (m *ModuleIR) Propagate(seed map[string]bool) map[string]bool {
+	facts := make(map[string]bool, len(seed))
+	work := make([]string, 0, len(seed))
+	for k, v := range seed {
+		if v {
+			facts[k] = true
+			work = append(work, k)
+		}
+	}
+	sort.Strings(work) // deterministic traversal order
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range m.Callers[k] {
+			if !facts[caller] {
+				facts[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return facts
+}
+
+// CalleesOf returns the resolved callee keys of fn (declared functions
+// only), deduplicated, in first-call order.
+func (f *FuncIR) CalleesOf() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, cs := range f.Calls {
+		if cs.CalleeKey != "" && !seen[cs.CalleeKey] {
+			seen[cs.CalleeKey] = true
+			out = append(out, cs.CalleeKey)
+		}
+	}
+	return out
+}
+
+// PkgOf returns the package path component of a FuncKey ("" if malformed).
+func PkgOf(key string) string {
+	// pkgpath is everything before the last '.' outside parens; method keys
+	// look like pkg.(T).M, function keys like pkg.F.
+	if i := strings.Index(key, ".("); i >= 0 {
+		return key[:i]
+	}
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[:i]
+	}
+	return ""
+}

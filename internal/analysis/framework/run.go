@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -23,6 +24,9 @@ func RunPackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([
 		}
 	}
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer:  a,
@@ -35,6 +39,26 @@ func RunPackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
 			}
+		}
+	}
+	// The module IR is built once and shared by every RunModule analyzer.
+	var ir *ModuleIR
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if ir == nil {
+			ir = BuildModuleIR(fset, pkgs)
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: pkgs,
+			IR:       ir,
+			Report:   report,
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
 	for _, a := range analyzers {
@@ -67,9 +91,10 @@ func Main(w io.Writer, args []string, analyzers []*Analyzer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		runList = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		typeErr = fs.Bool("typeerrors", false, "also print soft type errors encountered while loading")
+		runList  = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		typeErr  = fs.Bool("typeerrors", false, "also print soft type errors encountered while loading")
+		jsonMode = fs.Bool("json", false, "emit findings as NDJSON ({file,line,col,analyzer,message} per line) for machine consumers")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(w, "usage: simlint [flags] packages...\n\nAnalyzers:\n")
@@ -133,6 +158,28 @@ func Main(w io.Writer, args []string, analyzers []*Analyzer) int {
 		fmt.Fprintf(w, "simlint: %v\n", err)
 		return 2
 	}
+	if *jsonMode {
+		// NDJSON: one object per finding, nothing else on the stream, so
+		// CI can pipe straight into jq / GitHub annotation emitters. The
+		// exit code still carries the verdict (0 clean, 1 findings).
+		enc := json.NewEncoder(w)
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if err := enc.Encode(JSONFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				return 2
+			}
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
@@ -141,6 +188,15 @@ func Main(w io.Writer, args []string, analyzers []*Analyzer) int {
 		return 1
 	}
 	return 0
+}
+
+// JSONFinding is the -json wire shape of one diagnostic.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // Exit is a tiny indirection over os.Exit so cmd/simlint stays testable.

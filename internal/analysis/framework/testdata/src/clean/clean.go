@@ -1,0 +1,6 @@
+// Package clean is the framework driver-test fixture with nothing to
+// report: the driver must exit 0 on it.
+package clean
+
+// Fine is unremarkable by design.
+func Fine() int { return 3 }

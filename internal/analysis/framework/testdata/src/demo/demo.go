@@ -1,0 +1,9 @@
+// Package demo is the framework driver-test fixture: functions whose names
+// start with Bad are reported by the test's toy analyzer.
+package demo
+
+// Good stays quiet.
+func Good() int { return 1 }
+
+// BadThing is the finding.
+func BadThing() int { return 2 }

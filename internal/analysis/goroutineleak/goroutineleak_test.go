@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/goroutineleak"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, goroutineleak.Analyzer, "testdata/src/internal/service")
+}

@@ -1,0 +1,135 @@
+// Package service is the goroutineleak fixture (the path embeds
+// internal/service so the analyzer's scope pattern applies). Every `go`
+// statement whose reachable unbounded loops lack stop evidence must be
+// flagged; select/receive/ctx/cond-absolved loops, bounded loops, and
+// reviewed escapes must stay quiet.
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Server is a miniature of the fabric's serving state.
+type Server struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// StartHeartbeat is clean: the loop selects on the stop channel.
+func (s *Server) StartHeartbeat() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+// StartPoller leaks: the poll loop never observes any stop signal, so
+// Close's wg.Wait hangs forever.
+func (s *Server) StartPoller() {
+	s.wg.Add(1)
+	go func() { // want `goroutine can spin forever`
+		defer s.wg.Done()
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// runLoop spins through step with no stop path; the audit lands on the go
+// statements that spawn it.
+func (s *Server) runLoop() {
+	for {
+		s.step()
+	}
+}
+
+func (s *Server) step() {}
+
+// StartNamed leaks through a named method: the loop lives one call away.
+func (s *Server) StartNamed() {
+	go s.runLoop() // want `goroutine can spin forever`
+}
+
+// pop blocks on a condition variable — the stop evidence that absolves
+// callers' wait loops (close wakes the cond and pop's caller returns).
+func (s *Server) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.n--
+	return s.n, s.n >= 0
+}
+
+// StartWorker is clean: the loop's only blocking point is pop, whose
+// cond.Wait is recognized through the call graph.
+func (s *Server) StartWorker() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			if _, ok := s.pop(); !ok {
+				return
+			}
+		}
+	}()
+}
+
+// StartDrain is clean: range over a channel ends when the channel closes.
+func (s *Server) StartDrain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// StartCtx is clean: the loop condition checks ctx.Err.
+func (s *Server) StartCtx(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// StartBounded is clean: the loop has a static bound.
+func (s *Server) StartBounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			s.step()
+		}
+	}()
+}
+
+// StartJoiner is clean: no loop at all, terminates structurally.
+func (s *Server) StartJoiner(done chan struct{}) {
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+}
+
+// StartReviewed carries a justified escape: quiet.
+func (s *Server) StartReviewed() {
+	go s.runLoop() //simlint:leakok process-lifetime sweeper, reaped at exit
+}
+
+// StartBare carries the escape without a justification, which is itself a
+// finding.
+func (s *Server) StartBare() {
+	//simlint:leakok
+	go s.runLoop() // want `needs a justification`
+}

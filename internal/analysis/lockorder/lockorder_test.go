@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/internal/cluster")
+}

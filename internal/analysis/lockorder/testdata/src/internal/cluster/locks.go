@@ -1,0 +1,148 @@
+// Package cluster is the lockorder fixture (the path embeds
+// internal/cluster so the analyzer's scope pattern applies). Reversed
+// acquisition orders across two functions form a cycle; consistent orders,
+// goroutine-reset holds, and reviewed escapes stay quiet.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// A and B carry the direct-cycle pair.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// Both acquires A then B — one direction of the cycle. The report lands on
+// the earliest participating acquisition, which is this one.
+func Both(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle \(potential deadlock\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Reversed acquires B then A — closing the cycle.
+func Reversed(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D carry the transitive cycle: one direction exists only through a
+// call summary.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// Transit holds C while calling lockD: the C->D edge comes from lockD's
+// transitive acquisition summary, not a literal Lock call.
+func Transit(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock-order cycle \(potential deadlock\)`
+	c.mu.Unlock()
+}
+
+// TransitBack closes the transitive cycle directly.
+func TransitBack(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// E and F order consistently everywhere: clean.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func Ordered(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func OrderedToo(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// SpawnClean locks F inside a spawned goroutine while the caller holds E:
+// the goroutine starts with nothing held, so no F->E confusion arises and
+// the consistent E->F order above stays acyclic.
+func SpawnClean(e *E, f *F, done chan struct{}) {
+	e.mu.Lock()
+	go func() {
+		f.mu.Lock()
+		f.mu.Unlock()
+		close(done)
+	}()
+	e.mu.Unlock()
+}
+
+// Nested re-acquires the same class while holding it: sync mutexes are not
+// reentrant, so this is an immediate finding even without a cycle.
+func Nested(a, b *A) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquired while already held \(class-level\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// NestedReviewed is the two-provably-distinct-instances pattern with the
+// mandatory justification: quiet.
+func NestedReviewed(parent, child *A) {
+	parent.mu.Lock()
+	child.mu.Lock() //simlint:lockorderok parent/child never alias, tree edges only
+	child.mu.Unlock()
+	parent.mu.Unlock()
+}
+
+// G and H form a reviewed cycle: the escape on one participating edge
+// suppresses the whole cycle report.
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+func ReviewedPair(g *G, h *H) {
+	g.mu.Lock()
+	h.mu.Lock() //simlint:lockorderok g is always the gossip leader, h a follower
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func ReviewedPairBack(g *G, h *H) {
+	h.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// Branchy acquires inside an if and releases before leaving it: the held
+// set must not leak past the branch, so the later F lock sees nothing held.
+func Branchy(e *E, f *F, flag bool) {
+	if flag {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// ArmTimer arms a time.AfterFunc callback that re-locks the same class
+// while the caller holds it. The callback runs later on the timer goroutine
+// with nothing held, so this is clean — the delegation-reclaim pattern.
+func ArmTimer(a *A) *time.Timer {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.AfterFunc(time.Second, func() {
+		a.mu.Lock()
+		a.mu.Unlock()
+	})
+}

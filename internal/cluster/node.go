@@ -340,6 +340,19 @@ func (n *Node) Close() {
 	}
 }
 
+// sleepInterval blocks for one PollInterval or until the node starts
+// closing. It returns false when the node is stopping, so forward-retry and
+// status-poll loops observe Close instead of sleeping through it — a
+// never-terminal remote job must not hold Close's wg.Wait hostage.
+func (n *Node) sleepInterval() bool {
+	select {
+	case <-n.stop:
+		return false
+	case <-time.After(n.opts.PollInterval):
+		return true
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch: the submission path.
 
@@ -493,7 +506,10 @@ func (n *Node) runRemote(j *service.Job, owner string) (done bool, next string) 
 		case isUnreachable(err):
 			return false, n.failOver(owner, j.Key())
 		case err == ErrBusy && attempt < n.opts.ForwardRetries:
-			time.Sleep(n.opts.PollInterval)
+			if !n.sleepInterval() {
+				n.svc.FinishRouted(j, nil, ErrNodeClosed)
+				return true, ""
+			}
 		case err == ErrBusy:
 			// Owner is saturated: steal the job back and run it here —
 			// determinism makes the potential duplicate execution benign.
@@ -508,7 +524,14 @@ func (n *Node) runRemote(j *service.Job, owner string) (done bool, next string) 
 		if st.State.Terminal() {
 			return n.finishRemote(ctx, j, owner, st), ""
 		}
-		time.Sleep(n.opts.PollInterval)
+		if !n.sleepInterval() {
+			// Node is closing: fail the waiter rather than hold wg.Wait
+			// hostage to a remote job that may never reach a terminal state.
+			// If the owner does finish later, replication delivers the
+			// record anyway and the duplicate execution is benign.
+			n.svc.FinishRouted(j, nil, ErrNodeClosed)
+			return true, ""
+		}
 		if !sentCancel && j.CancelRequested() {
 			_ = n.rpcCancel(ctx, owner, st.ID) // best effort; polls confirm
 			sentCancel = true
@@ -935,6 +958,7 @@ func (n *Node) runStolen(victim string, sj *StolenJob) {
 	if err != nil {
 		return // victim reclaims on the delegation timeout
 	}
+	//simlint:dettaintok res is the simulator's deterministic Result; the taint is Job.submitted scheduling metadata, which EncodeRecord never frames
 	frame, err := service.EncodeRecord(sj.Key, res)
 	if err != nil {
 		return

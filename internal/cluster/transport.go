@@ -22,6 +22,10 @@ var (
 	ErrBusy = errors.New("cluster: node busy")
 	// ErrNoRecord means a fetch found no cached record under the key.
 	ErrNoRecord = errors.New("cluster: no such record")
+	// ErrNodeClosed means the local node began shutting down while a routed
+	// job was still in flight; the waiter is failed rather than left to
+	// block Close forever.
+	ErrNodeClosed = errors.New("cluster: node closed")
 	// ErrPeerDegraded means the per-peer circuit breaker is open: recent
 	// consecutive failures tripped it, and the cooldown has not elapsed. The
 	// caller treats the peer as unreachable without touching the wire.

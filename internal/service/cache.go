@@ -108,6 +108,7 @@ func (c *resultCache) insert(key string, res *sim.Result, persist bool) {
 	if persist && c.store != nil {
 		c.store.persist(key, res)
 	}
+	//simlint:leakok each iteration evicts one entry, strictly shrinking the list
 	for c.cap > 0 && c.lru.Len() > c.cap {
 		back := c.lru.Back()
 		c.lru.Remove(back)

@@ -400,6 +400,7 @@ func (s *Service) Submit(client string, cfg sim.Config) (*Job, error) {
 		}
 	}
 	// Reserve a queue slot (global backpressure across shards).
+	//simlint:leakok CAS retry loop; an iteration repeats only when another goroutine made progress
 	for {
 		n := s.queued.Load()
 		if n >= int64(s.cfg.QueueCap) {
@@ -725,6 +726,7 @@ func (s *Service) execute(j *Job) {
 		s.running.Add(-1)
 		s.shardRunning[j.shard].Add(-1)
 	}()
+	//simlint:leakok every arm returns; the only continue is bounded by MaxRetries
 	for attempt := 1; ; attempt++ {
 		res, err := s.runOnce(j)
 		switch {

@@ -1,0 +1,106 @@
+#!/bin/sh
+# Lint canary: prove the cross-package analyzers still fire.
+#
+# A static analyzer that silently stops reporting looks exactly like a clean
+# tree, so "make lint is green" alone is not evidence the lint suite works.
+# This script copies the module into a throwaway overlay, verifies the clean
+# tree passes, injects three known violations into the cluster layer — a
+# wall clock flowing into a sim.Result (dettaint), a reversed lock pair
+# (lockorder), and a goroutine with no stop path (goroutineleak) — and
+# asserts simlint exits nonzero with each analyzer reporting inside its
+# canary file.
+set -eu
+
+GO="${GO:-go}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT INT TERM
+
+overlay="$work/tree"
+mkdir -p "$overlay"
+# Copy the module sources; VCS state and smoke artifacts are irrelevant to
+# go list and only slow the copy down.
+(cd "$root" && tar -cf - --exclude .git --exclude '.smoke*' --exclude '*.test' .) \
+	| (cd "$overlay" && tar -xf -)
+
+echo "lint-canary: precheck (clean tree must pass)"
+if ! (cd "$overlay" && "$GO" run ./cmd/simlint ./... >/dev/null); then
+	echo "lint-canary: FAIL: clean tree does not pass simlint" >&2
+	exit 1
+fi
+
+cat > "$overlay/internal/cluster/zz_canary_dettaint.go" <<'EOF'
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// canaryTaint writes the wall clock into a Result field: dettaint must fire.
+func canaryTaint(r *sim.Result) {
+	r.Cycles = uint64(time.Now().UnixNano())
+}
+EOF
+
+cat > "$overlay/internal/cluster/zz_canary_lockorder.go" <<'EOF'
+package cluster
+
+import "sync"
+
+type canaryL1 struct{ mu sync.Mutex }
+type canaryL2 struct{ mu sync.Mutex }
+
+// canaryLockAB and canaryLockBA reverse each other's acquisition order:
+// lockorder must report the cycle.
+func canaryLockAB(a *canaryL1, b *canaryL2) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func canaryLockBA(a *canaryL1, b *canaryL2) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+EOF
+
+cat > "$overlay/internal/cluster/zz_canary_goroutineleak.go" <<'EOF'
+package cluster
+
+import "time"
+
+// canaryLeak spawns a goroutine whose loop never observes a stop signal:
+// goroutineleak must fire.
+func canaryLeak() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+EOF
+
+out="$work/findings.txt"
+if (cd "$overlay" && "$GO" run ./cmd/simlint ./... >"$out" 2>&1); then
+	echo "lint-canary: FAIL: simlint exited 0 with injected violations" >&2
+	cat "$out" >&2
+	exit 1
+fi
+
+fail=0
+for a in dettaint lockorder goroutineleak; do
+	if ! grep -q "zz_canary_${a}\.go.*(${a})" "$out"; then
+		echo "lint-canary: FAIL: ${a} did not report inside zz_canary_${a}.go" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	cat "$out" >&2
+	exit 1
+fi
+echo "lint-canary: PASS (dettaint, lockorder, goroutineleak all fire)"
